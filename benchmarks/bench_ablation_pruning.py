@@ -1,0 +1,85 @@
+"""E-A1 — ablation: the §4.1 pruning rules and the error-budget split.
+
+DESIGN.md calls out two design choices for ablation:
+(1) pruning on/off — walk truncation + score pruning buy speed for a bounded
+    one-sided error;
+(2) how the Theorem 2 budget is split between sampling / truncation / pruning.
+"""
+
+import pytest
+
+from conftest import SCALE, emit_table, get_csr, get_ground_truth, get_queries, make_probesim
+from repro.eval.metrics import abs_error_max
+
+DATASET = "as"  # mid-density small stand-in
+
+
+def _run(engine, queries, truth):
+    errors, times, probes = [], [], 0
+    for query in queries:
+        result = engine.single_source(query)
+        errors.append(abs_error_max(result.scores, truth.single_source(query), query))
+        times.append(result.elapsed)
+        probes += engine.last_stats.num_probes
+    return {
+        "abs_error": sum(errors) / len(errors),
+        "query_time_s": sum(times) / len(times),
+        "probes": probes,
+    }
+
+
+def test_ablation_pruning_on_off(benchmark):
+    truth = get_ground_truth(DATASET)
+    queries = get_queries(DATASET, 3)
+
+    def run_all():
+        rows = []
+        for label, overrides in (
+            ("pruned (paper)", {"prune": True}),
+            ("unpruned", {"prune": False}),
+        ):
+            engine = make_probesim(DATASET, eps_a=0.1, **overrides)
+            row = {"config": label}
+            row.update(_run(engine, queries, truth))
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit_table("ablation_pruning", rows, f"Ablation: pruning rules, scale={SCALE}")
+    pruned, unpruned = rows
+    # both honour the budget; pruning must not cost accuracy beyond eps_a
+    assert pruned["abs_error"] <= 0.1
+    assert unpruned["abs_error"] <= 0.1
+
+
+@pytest.mark.parametrize(
+    "split",
+    [
+        (0.5, 0.4, 0.1),
+        (0.7, 0.2, 0.1),  # the library default
+        (0.9, 0.08, 0.02),
+    ],
+    ids=["sampling-light", "default", "sampling-heavy"],
+)
+def test_ablation_budget_split(benchmark, split):
+    """More budget to sampling -> more walks (slower) but smaller sampling
+    error; the guarantee holds at every valid split."""
+    sampling, truncation, pruning = split
+    truth = get_ground_truth(DATASET)
+    queries = get_queries(DATASET, 2)
+    engine = make_probesim(
+        DATASET,
+        eps_a=0.1,
+        sampling_fraction=sampling,
+        truncation_fraction=truncation,
+        pruning_fraction=pruning,
+    )
+
+    def run():
+        return _run(engine, queries, truth)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    row["split(s,t,p)"] = str(split)
+    row["num_walks"] = engine.config.walk_count(get_csr(DATASET).num_nodes)
+    emit_table("ablation_budget", [row], f"Ablation: budget split {split}, scale={SCALE}")
+    assert row["abs_error"] <= 0.1

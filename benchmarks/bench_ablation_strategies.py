@@ -1,0 +1,83 @@
+"""E-A2 — ablation: basic vs batch vs randomized vs hybrid (§3.2, §4.2-4.4).
+
+The batching claim: deduplicating shared walk prefixes in the reachability
+tree reduces the number of PROBE invocations; hybrid adds the worst-case
+escape hatch.  Also ablates the deterministic-probe backend (python dicts vs
+vectorized numpy).
+"""
+
+import pytest
+
+from conftest import SCALE, emit_table, get_ground_truth, get_queries, make_probesim
+from repro.eval.metrics import abs_error_max
+
+DATASET = "wiki-vote"
+STRATEGIES = ["basic", "batch", "randomized", "hybrid"]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_ablation_strategy(benchmark, strategy):
+    truth = get_ground_truth(DATASET)
+    query = get_queries(DATASET, 1)[0]
+    engine = make_probesim(DATASET, eps_a=0.1, strategy=strategy)
+    result = benchmark.pedantic(
+        engine.single_source, args=(query,), rounds=2, iterations=1
+    )
+    error = abs_error_max(result.scores, truth.single_source(query), query)
+    stats = engine.last_stats
+    emit_table(
+        "ablation_strategies",
+        [
+            {
+                "strategy": strategy,
+                "abs_error": error,
+                "probes": stats.num_probes,
+                "tree_nodes": stats.num_tree_nodes,
+                "hybrid_switches": stats.num_hybrid_switches,
+                "query_time_s": stats.elapsed,
+            }
+        ],
+        f"Ablation: strategy={strategy}, scale={SCALE}",
+    )
+    assert error <= 0.1  # every strategy keeps the guarantee
+
+
+def test_ablation_batching_reduces_probes(benchmark):
+    """The §4.2 claim, measured: batch probes <= basic probes on the same
+    walk multiset (identical seed)."""
+    query = get_queries(DATASET, 1)[0]
+
+    def run_both():
+        basic = make_probesim(DATASET, eps_a=0.1, strategy="basic", seed=7)
+        basic.single_source(query)
+        batch = make_probesim(DATASET, eps_a=0.1, strategy="batch", seed=7)
+        batch.single_source(query)
+        return basic.last_stats, batch.last_stats
+
+    basic_stats, batch_stats = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    emit_table(
+        "ablation_strategies",
+        [
+            {
+                "metric": "probe invocations",
+                "basic": basic_stats.num_probes,
+                "batch": batch_stats.num_probes,
+                "saved": basic_stats.num_probes - batch_stats.num_probes,
+            }
+        ],
+        "Ablation: batching saves probes (same walks)",
+    )
+    assert batch_stats.num_probes <= basic_stats.num_probes
+
+
+@pytest.mark.parametrize("backend", ["vectorized", "python"])
+def test_ablation_backend(benchmark, backend):
+    """numpy frontier propagation vs the dict-based reference backend."""
+    query = get_queries(DATASET, 1)[0]
+    engine = make_probesim(
+        DATASET, eps_a=0.15, strategy="batch", backend=backend, num_walks=300
+    )
+    result = benchmark.pedantic(
+        engine.single_source, args=(query,), rounds=2, iterations=1
+    )
+    assert result.score(query) == 1.0

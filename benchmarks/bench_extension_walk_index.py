@@ -1,0 +1,75 @@
+"""E-A4 — extension: the §7 future-work lightweight walk-cache index.
+
+Measures what the extension buys (repeated-query speedup from cached walk
+trees) and what it costs (a small, m-independent index), versus plain
+index-free ProbeSim and the heavyweight TSF index.
+"""
+
+from conftest import SCALE, emit_table, get_csr, get_queries, make_tsf
+from repro.extensions import WalkIndex
+from repro.utils.sizing import format_bytes
+from repro.utils.timer import Timer
+
+DATASET = "wiki-vote"
+
+
+def test_extension_repeat_query_speedup(benchmark):
+    queries = get_queries(DATASET, 3)
+    index = WalkIndex(get_csr(DATASET), c=0.6, eps_a=0.1, delta=0.1, seed=11)
+
+    def run():
+        cold = Timer()
+        warm = Timer()
+        for query in queries:
+            with cold:
+                index.single_source(query)
+        for query in queries:  # second pass: all cache hits
+            with warm:
+                index.single_source(query)
+        return cold.elapsed, warm.elapsed
+
+    cold_t, warm_t = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table(
+        "extension_walk_index",
+        [
+            {
+                "pass": "cold (sample+build+probe)",
+                "total_s": cold_t,
+            },
+            {"pass": "warm (probe only)", "total_s": warm_t},
+            {"pass": "speedup", "total_s": cold_t / max(warm_t, 1e-12)},
+        ],
+        f"Extension: walk-cache repeat queries, scale={SCALE}",
+    )
+    assert index.hit_rate == 0.5
+    # probing dominates both passes; warm skips sampling + tree building.
+    # generous factor: at tiny scale the saved work is small and noisy.
+    assert warm_t <= cold_t * 1.5
+
+
+def test_extension_space_vs_tsf(benchmark):
+    queries = get_queries(DATASET, 3)
+
+    def build_and_measure():
+        walk_index = WalkIndex(get_csr(DATASET), c=0.6, eps_a=0.1, delta=0.1, seed=12)
+        walk_index.warm(queries)
+        tsf = make_tsf(DATASET)
+        tsf.materialize_reverse()
+        # compare C-equivalent payloads: raw arrays for TSF, 16B/tree-node
+        # for the walk cache (deep_sizeof would charge Python object headers
+        # to one side only)
+        return walk_index.payload_bytes(), tsf.index_bytes()
+
+    walk_bytes, tsf_bytes = benchmark.pedantic(build_and_measure, rounds=1, iterations=1)
+    graph_bytes = get_csr(DATASET).payload_bytes()
+    emit_table(
+        "extension_walk_index",
+        [
+            {"structure": "graph (CSR)", "bytes": format_bytes(graph_bytes)},
+            {"structure": f"walk index ({len(queries)} hot nodes)", "bytes": format_bytes(walk_bytes)},
+            {"structure": "tsf index", "bytes": format_bytes(tsf_bytes)},
+        ],
+        f"Extension: space comparison, scale={SCALE}",
+    )
+    # "lightweight": orders below TSF's per-node index
+    assert walk_bytes < tsf_bytes

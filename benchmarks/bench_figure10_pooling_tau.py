@@ -1,0 +1,26 @@
+"""E-F10 — Figure 10: Kendall τk via pooling on the four large graphs, at
+the figure's five k buckets.  Shares its pooling run with Figures 8 and 9."""
+
+import pytest
+
+from conftest import SCALE, emit_table
+from repro.datasets import large_dataset_names
+from shared_runs import mean_pool_metric, pool_k_series, pool_metric_series
+
+DATASETS = large_dataset_names()
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_figure10_tau(benchmark, dataset):
+    series = benchmark.pedantic(
+        pool_metric_series, args=(dataset, "tau"), rounds=1, iterations=1
+    )
+    emit_table(
+        "figure10",
+        series,
+        f"Figure 10({dataset}): pooled Kendall tau@k for k={pool_k_series()}, scale={SCALE}",
+    )
+    # ranking accuracy: ProbeSim's ordering beats TSF's at the deepest k
+    # (the paper's Twitter observation: equal precision but better tau)
+    means = mean_pool_metric(dataset, "tau")
+    assert means["probesim"] >= means["tsf"] - 0.05

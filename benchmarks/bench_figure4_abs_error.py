@@ -1,0 +1,65 @@
+"""E-F4 — Figure 4: absolute error vs query time for single-source queries
+on the four small graphs.
+
+The paper's claim: ProbeSim reaches lower AbsError at lower query cost than
+the TopSim family and TSF, and its accuracy/time tradeoff is tunable via
+eps_a while TopSim's error floor (Power Method with T = 3) is fixed.
+"""
+
+import pytest
+
+from conftest import SCALE, emit_chart, emit_table, get_queries
+from repro.datasets import small_dataset_names
+from shared_runs import method_factory, single_source_outcomes
+
+DATASETS = small_dataset_names()
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_figure4_series(benchmark, dataset):
+    """Emit the (query time, abs error) series — the figure's data points —
+    and benchmark one representative ProbeSim query."""
+    outcomes = benchmark.pedantic(
+        single_source_outcomes, args=(dataset,), rounds=1, iterations=1
+    )
+    rows = [o.as_row() for o in outcomes]
+    emit_table(
+        "figure4",
+        rows,
+        f"Figure 4({dataset}): AbsError vs query time, scale={SCALE}",
+    )
+    plottable = [r for r in rows if r["abs_error"] > 0 and r["query_time_s"] > 0]
+    if plottable:
+        emit_chart(
+            "figure4", plottable, "query_time_s", "abs_error",
+            title=f"Figure 4({dataset}) — paper-style log-log scatter",
+            x_label="query time (s)", y_label="abs error",
+            log_x=True, log_y=True,
+        )
+    by_name = {o.method: o for o in outcomes}
+    probesim_best = min(
+        (o for o in outcomes if o.method.startswith("probesim")),
+        key=lambda o: o.mean_abs_error,
+    )
+    # the paper's qualitative shape:
+    # (1) ProbeSim's tightest setting honours its error budget
+    tightest_eps = float(probesim_best.method.split("=")[1].rstrip(")"))
+    assert probesim_best.mean_abs_error <= tightest_eps + 0.02
+    # (2) the eps series trades time for accuracy monotonically (in time)
+    probesim_series = [o for o in outcomes if o.method.startswith("probesim")]
+    times = [o.mean_time for o in probesim_series]
+    assert times == sorted(times, reverse=True)  # tighter eps -> slower
+    # (3) TSF is less accurate than ProbeSim's tightest setting
+    assert by_name["tsf"].mean_abs_error > probesim_best.mean_abs_error
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("method", ["probesim", "tsf", "topsim-sm"])
+def test_figure4_query_time(benchmark, dataset, method):
+    """Wall-clock of one single-source query per method (the x-axis)."""
+    instance = method_factory(dataset, method)()
+    query = get_queries(dataset, 1)[0]
+    result = benchmark.pedantic(
+        instance.single_source, args=(query,), rounds=3, iterations=1
+    )
+    assert result.score(query) == 1.0

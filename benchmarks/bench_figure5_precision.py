@@ -1,0 +1,52 @@
+"""E-F5 — Figure 5: Precision@k vs query time for top-k queries on the four
+small graphs (k = 50 in the paper, scaled by REPRO_SCALE here).
+
+Shares its run with Figures 6-7 via shared_runs.topk_outcomes.
+"""
+
+import pytest
+
+from conftest import SCALE, TOP_K, emit_chart, emit_table, get_queries
+from repro.datasets import small_dataset_names
+from shared_runs import method_factory, topk_outcomes
+
+DATASETS = small_dataset_names()
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_figure5_precision(benchmark, dataset):
+    outcomes = benchmark.pedantic(
+        topk_outcomes, args=(dataset,), rounds=1, iterations=1
+    )
+    rows = [
+        {
+            "method": name,
+            "precision": outcome.mean_precision,
+            "query_time_s": outcome.mean_time,
+        }
+        for name, outcome in outcomes.items()
+    ]
+    emit_table(
+        "figure5",
+        rows,
+        f"Figure 5({dataset}): Precision@{TOP_K} vs query time, scale={SCALE}",
+    )
+    plottable = [r for r in rows if r["query_time_s"] > 0]
+    if plottable:
+        emit_chart(
+            "figure5", plottable, "query_time_s", "precision",
+            title=f"Figure 5({dataset}) — precision vs time (log x)",
+            x_label="query time (s)", y_label="precision", log_x=True,
+        )
+    # the paper's shape: ProbeSim achieves high precision, and beats TSF
+    assert outcomes["probesim"].mean_precision >= 0.75
+    assert outcomes["probesim"].mean_precision >= outcomes["tsf"].mean_precision
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_figure5_topk_query_time(benchmark, dataset):
+    """Times the full top-k pipeline (single-source + sort) for ProbeSim."""
+    engine = method_factory(dataset, "probesim")()
+    query = get_queries(dataset, 1)[0]
+    top = benchmark.pedantic(engine.topk, args=(query, TOP_K), rounds=3, iterations=1)
+    assert top.k <= TOP_K

@@ -1,0 +1,42 @@
+"""E-F6 — Figure 6: NDCG@k vs query time for top-k queries on the four small
+graphs.  Shares its run with Figures 5 and 7."""
+
+import pytest
+
+from conftest import SCALE, TOP_K, emit_table, get_queries
+from repro.datasets import small_dataset_names
+from shared_runs import method_factory, topk_outcomes
+
+DATASETS = small_dataset_names()
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_figure6_ndcg(benchmark, dataset):
+    outcomes = benchmark.pedantic(
+        topk_outcomes, args=(dataset,), rounds=1, iterations=1
+    )
+    rows = [
+        {
+            "method": name,
+            "ndcg": outcome.mean_ndcg,
+            "query_time_s": outcome.mean_time,
+        }
+        for name, outcome in outcomes.items()
+    ]
+    emit_table(
+        "figure6",
+        rows,
+        f"Figure 6({dataset}): NDCG@{TOP_K} vs query time, scale={SCALE}",
+    )
+    assert outcomes["probesim"].mean_ndcg >= 0.9
+    assert outcomes["probesim"].mean_ndcg >= outcomes["tsf"].mean_ndcg - 0.02
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_figure6_tsf_query_time(benchmark, dataset):
+    index = method_factory(dataset, "tsf")()
+    query = get_queries(dataset, 1)[0]
+    result = benchmark.pedantic(
+        index.single_source, args=(query,), rounds=3, iterations=1
+    )
+    assert result.score(query) == 1.0

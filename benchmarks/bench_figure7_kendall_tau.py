@@ -1,0 +1,42 @@
+"""E-F7 — Figure 7: Kendall τk vs query time for top-k queries on the four
+small graphs.  Shares its run with Figures 5 and 6."""
+
+import pytest
+
+from conftest import SCALE, TOP_K, emit_table, get_queries
+from repro.datasets import small_dataset_names
+from shared_runs import method_factory, topk_outcomes
+
+DATASETS = small_dataset_names()
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_figure7_tau(benchmark, dataset):
+    outcomes = benchmark.pedantic(
+        topk_outcomes, args=(dataset,), rounds=1, iterations=1
+    )
+    rows = [
+        {
+            "method": name,
+            "tau": outcome.mean_tau,
+            "query_time_s": outcome.mean_time,
+        }
+        for name, outcome in outcomes.items()
+    ]
+    emit_table(
+        "figure7",
+        rows,
+        f"Figure 7({dataset}): Kendall tau@{TOP_K} vs query time, scale={SCALE}",
+    )
+    # ranking quality: ProbeSim orders the top-k better than TSF
+    assert outcomes["probesim"].mean_tau >= outcomes["tsf"].mean_tau - 0.02
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_figure7_topsim_query_time(benchmark, dataset):
+    method = method_factory(dataset, "topsim-sm")()
+    query = get_queries(dataset, 1)[0]
+    result = benchmark.pedantic(
+        method.single_source, args=(query,), rounds=3, iterations=1
+    )
+    assert result.score(query) == 1.0

@@ -1,0 +1,37 @@
+"""E-F8 — Figure 8: Precision@k via pooling on the four large graphs.
+
+The ground truth on large graphs is unavailable, so (as in the paper) the
+competing methods' top-k lists are pooled and scored by a trusted expert;
+the pool's best k nodes become the reference answer.  As in the figure, the
+metric is reported at five k buckets.
+"""
+
+import pytest
+
+from conftest import METHOD_ORDER, SCALE, emit_table
+from repro.datasets import large_dataset_names
+from shared_runs import mean_pool_metric, pool_k_series, pool_metric_series, pooling_evaluations
+
+DATASETS = large_dataset_names()
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_figure8_precision(benchmark, dataset):
+    series = benchmark.pedantic(
+        pool_metric_series, args=(dataset, "precision"), rounds=1, iterations=1
+    )
+    emit_table(
+        "figure8",
+        series,
+        f"Figure 8({dataset}): pooled Precision@k for k={pool_k_series()}, scale={SCALE}",
+    )
+    _, times = pooling_evaluations(dataset)
+    emit_table(
+        "figure8",
+        [{"method": name, "query_time_s": times[name]} for name in METHOD_ORDER],
+        f"Figure 8({dataset}) companion: mean query time",
+    )
+    # paper shape at the deepest k: ProbeSim matches or beats TSF
+    means = mean_pool_metric(dataset, "precision")
+    assert means["probesim"] >= means["tsf"] - 0.05
+    assert means["probesim"] >= 0.5

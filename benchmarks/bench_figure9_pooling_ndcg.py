@@ -1,0 +1,25 @@
+"""E-F9 — Figure 9: NDCG@k via pooling on the four large graphs, at the
+figure's five k buckets.  Shares its pooling run with Figures 8 and 10."""
+
+import pytest
+
+from conftest import SCALE, emit_table
+from repro.datasets import large_dataset_names
+from shared_runs import mean_pool_metric, pool_k_series, pool_metric_series
+
+DATASETS = large_dataset_names()
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_figure9_ndcg(benchmark, dataset):
+    series = benchmark.pedantic(
+        pool_metric_series, args=(dataset, "ndcg"), rounds=1, iterations=1
+    )
+    emit_table(
+        "figure9",
+        series,
+        f"Figure 9({dataset}): pooled NDCG@k for k={pool_k_series()}, scale={SCALE}",
+    )
+    means = mean_pool_metric(dataset, "ndcg")
+    assert means["probesim"] >= 0.85
+    assert means["probesim"] >= means["tsf"] - 0.05

@@ -1,0 +1,38 @@
+"""E-T3 — Table 3: dataset statistics.
+
+Prints the stand-in datasets with the same columns the paper reports (type,
+n, m) plus the profile statistics DESIGN.md §2 uses to justify each
+substitution, and benchmarks dataset generation + CSR snapshotting.
+"""
+
+from conftest import SCALE, emit_table, get_dataset
+from repro.datasets import DATASETS, large_dataset_names, load_dataset, small_dataset_names
+from repro.graph import CSRGraph, compute_stats
+
+
+def test_table3_statistics(benchmark):
+    def build_rows():
+        rows = []
+        for name in small_dataset_names() + large_dataset_names():
+            stats = compute_stats(get_dataset(name))
+            row = {"dataset": name, "kind": DATASETS[name].kind}
+            row.update(stats.as_row())
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    emit_table("table3", rows, f"Table 3: stand-in datasets (scale={SCALE})")
+    assert len(rows) == 8
+
+
+def test_bench_generate_wiki_vote(benchmark):
+    graph = benchmark.pedantic(
+        load_dataset, args=("wiki-vote", SCALE), rounds=1, iterations=1
+    )
+    assert graph.num_edges > 0
+
+
+def test_bench_csr_snapshot_largest(benchmark):
+    graph = get_dataset("friendster")
+    csr = benchmark(CSRGraph.from_digraph, graph)
+    assert csr.num_edges == graph.num_edges

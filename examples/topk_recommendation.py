@@ -1,0 +1,65 @@
+"""Related-paper recommendation on a citation network (top-k SimRank).
+
+The scenario from the paper's introduction: SimRank's "two nodes are similar
+if their neighbours are similar" recursion makes it a natural relatedness
+measure on citation graphs — two papers are similar when they are cited by
+similar papers.  This example builds a synthetic citation network with
+planted topic communities, then uses top-k SimRank to recommend related
+papers and checks the recommendations stay inside the query's topic.
+
+Run:  python examples/topk_recommendation.py
+"""
+
+import numpy as np
+
+from repro import DiGraph, ProbeSim
+
+rng = np.random.default_rng(2017)
+
+# --- build a citation network with 4 planted topics ----------------------
+NUM_TOPICS = 4
+PAPERS_PER_TOPIC = 120
+N = NUM_TOPICS * PAPERS_PER_TOPIC
+
+def topic_of(paper: int) -> int:
+    return paper // PAPERS_PER_TOPIC
+
+graph = DiGraph(N)
+for paper in range(N):
+    # each paper cites ~6 earlier papers: 85% within its topic
+    base = topic_of(paper) * PAPERS_PER_TOPIC
+    earlier_in_topic = paper - base
+    for _ in range(6):
+        if earlier_in_topic > 0 and rng.random() < 0.85:
+            target = base + int(rng.integers(earlier_in_topic))
+        elif paper > 0:
+            target = int(rng.integers(paper))
+        else:
+            continue
+        if target != paper and not graph.has_edge(paper, target):
+            graph.add_edge(paper, target)
+
+print(f"citation network: {graph} with {NUM_TOPICS} planted topics")
+
+# --- recommend related papers with top-k SimRank -------------------------
+engine = ProbeSim(graph, c=0.6, eps_a=0.1, delta=0.05, seed=11)
+
+K = 10
+queries = [int(q) for q in rng.choice(N // 2, size=5, replace=False) + N // 2]
+in_topic_total = 0
+for query in queries:
+    top = engine.topk(query, k=K)
+    in_topic = sum(1 for node, _ in top if topic_of(node) == topic_of(query))
+    in_topic_total += in_topic
+    preview = ", ".join(
+        f"{node}(t{topic_of(node)})" for node, _ in list(top)[:5]
+    )
+    print(
+        f"paper {query} (topic {topic_of(query)}): "
+        f"{in_topic}/{K} recommendations in-topic — top-5: {preview}"
+    )
+
+rate = in_topic_total / (len(queries) * K)
+print(f"\noverall in-topic recommendation rate: {rate:.0%}")
+assert rate > 0.6, "SimRank should recover the planted topics"
+print("recommendations follow the planted community structure — done.")

@@ -1,0 +1,7 @@
+"""Setup shim: this environment's setuptools lacks the `wheel` package, so
+PEP 660 editable installs fail; this file enables the legacy editable path.
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

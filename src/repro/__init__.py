@@ -1,0 +1,41 @@
+"""ProbeSim — scalable single-source and top-k SimRank on dynamic graphs.
+
+A from-scratch Python reproduction of Liu et al., PVLDB 11(1), 2017
+(arXiv:1709.06955).  See README.md for a tour and DESIGN.md for the full
+system inventory.
+
+Quickstart::
+
+    from repro import DiGraph, ProbeSim
+
+    graph = DiGraph.from_edges([(0, 1), (1, 0), (2, 0), (2, 1)])
+    engine = ProbeSim(graph, c=0.6, eps_a=0.1, delta=0.01, seed=42)
+    result = engine.single_source(0)       # Definition 1
+    top = engine.topk(0, k=10)             # Definition 2
+"""
+
+from repro.baselines import MonteCarlo, PowerMethod, SLINGIndex, TSFIndex, TopSim
+from repro.core import ProbeSim, ProbeSimConfig, SimRankResult, TopKResult
+from repro.errors import ReproError
+from repro.extensions import AdaptiveTopK, WalkIndex
+from repro.graph import CSRGraph, DiGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveTopK",
+    "CSRGraph",
+    "DiGraph",
+    "MonteCarlo",
+    "PowerMethod",
+    "ProbeSim",
+    "ProbeSimConfig",
+    "ReproError",
+    "SLINGIndex",
+    "SimRankResult",
+    "TSFIndex",
+    "TopKResult",
+    "TopSim",
+    "WalkIndex",
+    "__version__",
+]

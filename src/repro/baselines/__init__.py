@@ -1,0 +1,21 @@
+"""Every method the paper evaluates ProbeSim against, built from scratch.
+
+- :class:`~repro.baselines.power.PowerMethod` — the exact all-pairs iteration
+  (Eq. 10), used as ground truth on small graphs.
+- :class:`~repro.baselines.monte_carlo.MonteCarlo` — the index-free √c-walk
+  sampler of Fogaras & Rácz (§2.2), also the pooling "expert".
+- :class:`~repro.baselines.topsim.TopSim` — TopSim-SM and its Trun-/Prio-
+  variants (Lee et al., §2.3).
+- :class:`~repro.baselines.tsf.TSFIndex` — the two-stage one-way-graph index
+  of Shao et al. (§2.3), including incremental updates.
+- :class:`~repro.baselines.sling.SLINGIndex` — the static last-meeting index
+  of Tian & Xiao whose rebuild cost motivates ProbeSim (§1).
+"""
+
+from repro.baselines.monte_carlo import MonteCarlo
+from repro.baselines.power import PowerMethod
+from repro.baselines.sling import SLINGIndex
+from repro.baselines.topsim import TopSim
+from repro.baselines.tsf import TSFIndex
+
+__all__ = ["MonteCarlo", "PowerMethod", "SLINGIndex", "TSFIndex", "TopSim"]

@@ -1,0 +1,168 @@
+"""Monte Carlo SimRank estimation with √c-walks (§2.2; Fogaras & Rácz).
+
+Two estimators:
+
+:meth:`MonteCarlo.single_pair`
+    ``s(u, v) = Pr[W'(u), W'(v) meet]`` (Eq. 3): simulate ``r`` independent
+    √c-walk pairs, return the meeting fraction.  By the Chernoff bound,
+    ``r >= 1 / (2 eps^2) * log(1 / delta)`` gives ``eps`` absolute error with
+    probability ``1 - delta``.  This estimator (with a tightened budget) is
+    the pooling "expert" for the large-graph experiments (§6.2).
+
+:meth:`MonteCarlo.single_source`
+    The fingerprint construction: ``r`` walks from *every* node, pairing walk
+    ``j`` of ``u`` with walk ``j`` of ``v``; the meeting fraction estimates
+    ``s(u, v)`` for all ``v`` simultaneously.  This is the index-free
+    competitor whose "considerable query overheads" motivated ProbeSim.
+
+Both estimators step all live walks in lock-step with vectorised in-neighbour
+sampling, which keeps the large walk counts tractable in Python.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.results import SimRankResult
+from repro.errors import QueryError
+from repro.graph.csr import as_csr
+from repro.utils.rng import as_generator
+from repro.utils.timer import Timer
+from repro.utils.validation import check_positive_int, check_probability
+
+
+def pair_sample_size(eps: float, delta: float) -> int:
+    """Chernoff budget ``r = ceil(1 / (2 eps^2) * log(1 / delta))`` (§2.2)."""
+    check_probability("eps", eps)
+    check_probability("delta", delta)
+    return max(1, math.ceil(math.log(1.0 / delta) / (2.0 * eps * eps)))
+
+
+class MonteCarlo:
+    """√c-walk Monte Carlo estimator over a CSR snapshot."""
+
+    #: hard cap on simulated steps; the chance of a √c-walk pair surviving
+    #: this long is c^MAX_STEPS (< 1e-22 at c = 0.6).
+    MAX_STEPS = 100
+
+    def __init__(self, graph, c: float = 0.6, seed=None) -> None:
+        check_probability("c", c)
+        self._csr = as_csr(graph)
+        self.c = c
+        self.sqrt_c = math.sqrt(c)
+        self._rng = as_generator(seed)
+
+    # ------------------------------------------------------------------ #
+    # single pair
+    # ------------------------------------------------------------------ #
+
+    def single_pair(self, u: int, v: int, num_samples: int) -> float:
+        """Estimate ``s(u, v)`` from ``num_samples`` independent walk pairs."""
+        self._check_node(u)
+        self._check_node(v)
+        check_positive_int("num_samples", num_samples)
+        if u == v:
+            return 1.0
+        rng = self._rng
+        graph = self._csr
+
+        met_total = 0
+        remaining = num_samples
+        block_size = 65_536
+        while remaining > 0:
+            r = min(block_size, remaining)
+            remaining -= r
+            pos_u = np.full(r, u, dtype=np.int64)
+            pos_v = np.full(r, v, dtype=np.int64)
+            alive = np.ones(r, dtype=bool)
+            for _ in range(self.MAX_STEPS):
+                idx = np.nonzero(alive)[0]
+                if len(idx) == 0:
+                    break
+                # both walks must take another step: joint probability c
+                survive = rng.random(len(idx)) < self.c
+                idx = idx[survive]
+                alive[:] = False
+                if len(idx) == 0:
+                    break
+                nxt_u = graph.sample_in_neighbors(pos_u[idx], rng)
+                nxt_v = graph.sample_in_neighbors(pos_v[idx], rng)
+                ok = (nxt_u >= 0) & (nxt_v >= 0)
+                idx, nxt_u, nxt_v = idx[ok], nxt_u[ok], nxt_v[ok]
+                pos_u[idx] = nxt_u
+                pos_v[idx] = nxt_v
+                met = nxt_u == nxt_v
+                met_total += int(met.sum())
+                keep = idx[~met]
+                alive[keep] = True
+        return met_total / num_samples
+
+    def pair_with_guarantee(self, u: int, v: int, eps: float, delta: float) -> float:
+        """``single_pair`` with the Chernoff sample budget for (eps, delta)."""
+        return self.single_pair(u, v, pair_sample_size(eps, delta))
+
+    # ------------------------------------------------------------------ #
+    # single source (fingerprints)
+    # ------------------------------------------------------------------ #
+
+    def single_source(self, query: int, num_walks: int) -> SimRankResult:
+        """Estimate ``s(query, v)`` for all ``v`` with ``num_walks`` fingerprints.
+
+        Walk ``j`` starts at every node simultaneously; node ``v``'s pair
+        (query-walk j, v-walk j) counts as met if the two walks occupy the
+        same node at the same step with both still alive.
+        """
+        self._check_node(query)
+        check_positive_int("num_walks", num_walks)
+        graph = self._csr
+        rng = self._rng
+        n = graph.num_nodes
+
+        timer = Timer()
+        with timer:
+            meets = np.zeros(n, dtype=np.int64)
+            for _ in range(num_walks):
+                pos = np.arange(n, dtype=np.int64)
+                alive = np.ones(n, dtype=bool)
+                met = np.zeros(n, dtype=bool)
+                for _ in range(self.MAX_STEPS):
+                    if not alive[query]:
+                        break
+                    cont = rng.random(n) < self.sqrt_c
+                    alive &= cont
+                    if not alive[query]:
+                        break
+                    idx = np.nonzero(alive)[0]
+                    nxt = graph.sample_in_neighbors(pos[idx], rng)
+                    dead = nxt < 0
+                    alive[idx[dead]] = False
+                    if not alive[query]:
+                        break
+                    moved = idx[~dead]
+                    pos[moved] = nxt[~dead]
+                    just_met = alive & (pos == pos[query]) & ~met
+                    just_met[query] = False
+                    met |= just_met
+                meets += met
+            scores = meets.astype(np.float64) / num_walks
+            scores[query] = 1.0
+        return SimRankResult(
+            query=query,
+            scores=scores,
+            num_walks=num_walks,
+            elapsed=timer.elapsed,
+            method="mc",
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._csr.num_nodes:
+            raise QueryError(
+                f"node {node} out of range [0, {self._csr.num_nodes})"
+            )
+
+    def __repr__(self) -> str:
+        return f"MonteCarlo(n={self._csr.num_nodes}, c={self.c})"

@@ -1,0 +1,33 @@
+"""The paper's primary contribution: the ProbeSim algorithm.
+
+Public surface:
+
+:class:`~repro.core.engine.ProbeSim`
+    single-source and top-k SimRank queries (Algorithms 1 and 3 with all of
+    §4's optimizations).
+:class:`~repro.core.config.ProbeSimConfig`
+    parameters and the Theorem 2 error-budget solver.
+:class:`~repro.core.results.SimRankResult` / :class:`~repro.core.results.TopKResult`
+    query result containers.
+"""
+
+from repro.core.config import ErrorBudget, ProbeSimConfig
+from repro.core.engine import ProbeSim
+from repro.core.probe import probe_deterministic
+from repro.core.randomized_probe import probe_randomized
+from repro.core.results import SimRankResult, TopKResult
+from repro.core.tree import ReachabilityTree
+from repro.core.walks import sample_sqrt_c_walk, truncation_length
+
+__all__ = [
+    "ErrorBudget",
+    "ProbeSim",
+    "ProbeSimConfig",
+    "ReachabilityTree",
+    "SimRankResult",
+    "TopKResult",
+    "probe_deterministic",
+    "probe_randomized",
+    "sample_sqrt_c_walk",
+    "truncation_length",
+]

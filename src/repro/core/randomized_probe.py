@@ -1,0 +1,139 @@
+"""Randomized PROBE (Algorithm 4).
+
+Instead of propagating exact scores, each iteration *samples* the next level:
+every candidate node ``x`` draws one uniform in-neighbour; if that neighbour
+was selected in the previous level, ``x`` is selected with probability
+``sqrt(c)``.  Lemma 6 shows the probability that ``v`` survives to the final
+level equals exactly the deterministic ``Score(v)``, so emitting indicator
+scores of 1 for the survivors is an unbiased Bernoulli estimator.
+
+Per iteration the candidate set is the union of the current level's
+out-neighbours when that union is cheap (total out-degree <= n), otherwise all
+of ``V`` — hence the O(n)-per-iteration worst case that gives ProbeSim its
+O(n / eps_a^2 * log(n / delta)) bound.
+
+:func:`probe_randomized_from_membership` is the §4.4 hybrid's entry point:
+it starts from an arbitrary Bernoulli membership level (sampled from a
+deterministic probe's marginals mid-path) instead of from ``{u_i}``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import as_generator
+
+
+def _candidate_set(graph: CSRGraph, level: np.ndarray) -> np.ndarray:
+    """Union of out-neighbours of ``level``, or all nodes if that is cheaper.
+
+    Mirrors Algorithm 4 lines 3-7: when the out-degree mass of the current
+    level exceeds n, enumerating the union would cost more than scanning V.
+    """
+    n = graph.num_nodes
+    total_out = int(graph.out_degrees[level].sum())
+    if total_out > n:
+        return np.arange(n, dtype=np.int64)
+    if total_out == 0:
+        return np.empty(0, dtype=np.int64)
+    chunks = [
+        graph.out_indices[graph.out_indptr[x] : graph.out_indptr[x + 1]]
+        for x in level.tolist()
+    ]
+    return np.unique(np.concatenate(chunks).astype(np.int64))
+
+
+def _advance_level(
+    graph: CSRGraph,
+    in_level: np.ndarray,
+    avoid: int,
+    sqrt_c: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One sampling iteration: from membership array to the next level."""
+    n = graph.num_nodes
+    level_nodes = np.nonzero(in_level)[0]
+    if len(level_nodes) == 0:
+        return np.empty(0, dtype=np.int64)
+    candidates = _candidate_set(graph, level_nodes)
+    if len(candidates) == 0:
+        return np.empty(0, dtype=np.int64)
+    candidates = candidates[candidates != avoid]
+    if len(candidates) == 0:
+        return np.empty(0, dtype=np.int64)
+    sampled = graph.sample_in_neighbors(candidates, rng)
+    valid = sampled >= 0
+    hit = np.zeros(len(candidates), dtype=bool)
+    hit[valid] = in_level[sampled[valid]]
+    accept = hit & (rng.random(len(candidates)) < sqrt_c)
+    return candidates[accept]
+
+
+def probe_randomized(
+    graph: CSRGraph,
+    prefix: Sequence[int],
+    sqrt_c: float,
+    rng=None,
+) -> np.ndarray:
+    """Algorithm 4: one Bernoulli probe of ``prefix``.
+
+    Returns the integer ids of the nodes selected into the final level; each
+    carries an implicit score of 1 (Lemma 6 makes this unbiased for the
+    deterministic scores).
+    """
+    if len(prefix) < 2:
+        raise QueryError(
+            f"PROBE needs a partial walk of at least 2 nodes, got {len(prefix)}"
+        )
+    rng = as_generator(rng)
+    n = graph.num_nodes
+    i = len(prefix)
+    in_level = np.zeros(n, dtype=bool)
+    in_level[prefix[-1]] = True
+    selected = np.array([prefix[-1]], dtype=np.int64)
+    for j in range(i - 1):
+        avoid = prefix[i - j - 2]
+        selected = _advance_level(graph, in_level, avoid, sqrt_c, rng)
+        in_level[:] = False
+        if len(selected) == 0:
+            return selected
+        in_level[selected] = True
+    return selected
+
+
+def probe_randomized_from_membership(
+    graph: CSRGraph,
+    prefix: Sequence[int],
+    start_iteration: int,
+    membership: np.ndarray,
+    sqrt_c: float,
+    rng=None,
+) -> np.ndarray:
+    """Continue a probe of ``prefix`` from iteration ``start_iteration``.
+
+    ``membership`` is the boolean level occupancy after iteration
+    ``start_iteration - 1`` (i.e. the level the deterministic probe had
+    computed when the §4.4 hybrid decided to switch).  Runs the remaining
+    ``len(prefix) - 1 - start_iteration`` sampling iterations and returns the
+    surviving node ids.
+    """
+    rng = as_generator(rng)
+    i = len(prefix)
+    if not 0 <= start_iteration <= i - 1:
+        raise QueryError(
+            f"start_iteration must lie in [0, {i - 1}], got {start_iteration}"
+        )
+    in_level = membership.copy()
+    selected = np.nonzero(in_level)[0]
+    for j in range(start_iteration, i - 1):
+        avoid = prefix[i - j - 2]
+        selected = _advance_level(graph, in_level, avoid, sqrt_c, rng)
+        in_level[:] = False
+        if len(selected) == 0:
+            return selected
+        in_level[selected] = True
+    return selected

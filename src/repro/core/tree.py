@@ -1,0 +1,117 @@
+"""Reverse-reachability tree (Algorithm 3's batching structure).
+
+All ``nr`` √c-walks from the query node share the same root ``u``; walks that
+share a prefix share a path in this tree.  Each tree node carries the graph
+node it represents and the number of walks whose prefix runs through it, so
+the batch algorithm probes every distinct prefix exactly once and weights its
+scores by ``weight / nr`` instead of probing duplicated prefixes repeatedly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TreeNode:
+    """One prefix endpoint: graph node + number of walks sharing the prefix."""
+
+    node: int
+    weight: int = 0
+    children: dict[int, "TreeNode"] = field(default_factory=dict)
+
+    def child(self, node: int) -> "TreeNode | None":
+        """The child tree node for graph node ``node``, if present."""
+        return self.children.get(node)
+
+
+class ReachabilityTree:
+    """Compact trie of √c-walks from a common root (Algorithm 3 lines 2-10).
+
+    >>> tree = ReachabilityTree(root=0)
+    >>> tree.insert_walk([0, 1, 2])
+    >>> tree.insert_walk([0, 1, 3])
+    >>> tree.num_walks
+    2
+    >>> sorted(w for _, w in tree.iter_prefixes())
+    [1, 1, 2]
+    """
+
+    def __init__(self, root: int) -> None:
+        self.root = TreeNode(node=root, weight=0)
+
+    @property
+    def num_walks(self) -> int:
+        """Number of inserted walks (the root's weight in the paper)."""
+        return self.root.weight
+
+    def insert_walk(self, walk: Sequence[int]) -> None:
+        """Insert one √c-walk ``(u_1, ..., u_l)``; ``u_1`` must be the root.
+
+        Every prefix node on the walk's path gains weight 1; new tree nodes
+        are created where the walk diverges from previously inserted ones.
+        """
+        if not walk:
+            raise ValueError("cannot insert an empty walk")
+        if walk[0] != self.root.node:
+            raise ValueError(
+                f"walk starts at {walk[0]}, tree is rooted at {self.root.node}"
+            )
+        self.root.weight += 1
+        current = self.root
+        for node in walk[1:]:
+            nxt = current.children.get(node)
+            if nxt is None:
+                nxt = TreeNode(node=node, weight=0)
+                current.children[node] = nxt
+            nxt.weight += 1
+            current = nxt
+
+    def iter_prefixes(self) -> Iterator[tuple[list[int], int]]:
+        """Yield ``(prefix, weight)`` for every non-root tree node.
+
+        ``prefix`` is the full root-to-node path ``(u_1, ..., u_q)`` — exactly
+        the partial walks Algorithm 3 probes — in DFS (pre-order) order.
+        Weights satisfy: a node's weight equals the number of walks whose
+        prefix passes through it, so ``sum over leaves-to-root levels`` of a
+        level's weights never exceeds ``num_walks``.
+        """
+        stack: list[tuple[TreeNode, list[int]]] = [(self.root, [self.root.node])]
+        while stack:
+            tree_node, path = stack.pop()
+            for child in tree_node.children.values():
+                child_path = path + [child.node]
+                yield child_path, child.weight
+                stack.append((child, child_path))
+
+    def num_tree_nodes(self) -> int:
+        """Count of non-root tree nodes (distinct probed prefixes)."""
+        return sum(1 for _ in self.iter_prefixes())
+
+    def max_depth(self) -> int:
+        """Longest root-to-leaf path length in nodes (1 for a bare root)."""
+        best = 1
+        stack: list[tuple[TreeNode, int]] = [(self.root, 1)]
+        while stack:
+            tree_node, depth = stack.pop()
+            best = max(best, depth)
+            for child in tree_node.children.values():
+                stack.append((child, depth + 1))
+        return best
+
+    @classmethod
+    def from_walks(cls, walks: Sequence[Sequence[int]]) -> "ReachabilityTree":
+        """Build a tree from a non-empty batch of walks sharing a start node."""
+        if not walks:
+            raise ValueError("need at least one walk")
+        tree = cls(root=walks[0][0])
+        for walk in walks:
+            tree.insert_walk(walk)
+        return tree
+
+    def __repr__(self) -> str:
+        return (
+            f"ReachabilityTree(root={self.root.node}, walks={self.num_walks}, "
+            f"prefixes={self.num_tree_nodes()})"
+        )

@@ -1,0 +1,30 @@
+"""Datasets: the paper's Figure 1 toy graph (exactly reconstructed) and
+seeded synthetic stand-ins for the eight benchmark graphs of Table 3."""
+
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    large_dataset_names,
+    load_dataset,
+    small_dataset_names,
+)
+from repro.datasets.toy import (
+    TOY_DECAY,
+    TOY_EDGES,
+    TOY_EXPECTED_SIMRANK_FROM_A,
+    TOY_NODE_NAMES,
+    toy_graph,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "TOY_DECAY",
+    "TOY_EDGES",
+    "TOY_EXPECTED_SIMRANK_FROM_A",
+    "TOY_NODE_NAMES",
+    "large_dataset_names",
+    "load_dataset",
+    "small_dataset_names",
+    "toy_graph",
+]

@@ -1,0 +1,188 @@
+"""Registry of synthetic stand-ins for the paper's eight benchmark graphs.
+
+Each entry targets the structural profile of a Table 3 dataset (see
+DESIGN.md §2 for the substitution argument) at two scales:
+
+``scale="small"``
+    CI-friendly sizes: every experiment finishes in seconds.  This is the
+    default for the test suite and benchmarks.
+``scale="paper"``
+    Larger stand-ins for heavier runs (still far below the originals — pure
+    Python cannot traverse billions of edges; the *relative* comparisons are
+    what the benchmarks reproduce).
+
+Generation is deterministic per (name, scale): seeds are fixed in the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import DatasetError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    locally_dense_graph,
+    preferential_attachment_graph,
+    undirected_as_digraph,
+    web_graph,
+)
+
+#: recognised scale names, ordered small to large.
+SCALES = ("tiny", "small", "paper")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One named stand-in: how to build it at each scale."""
+
+    name: str
+    kind: str  # "small" (Figures 4-7) or "large" (Table 4, Figures 8-10)
+    profile: str  # prose description of the original's structure
+    builder: Callable[[int, int], DiGraph]  # (num_nodes, seed) -> graph
+    sizes: dict[str, int]  # scale -> num_nodes
+    seed: int
+
+    def build(self, scale: str = "small") -> DiGraph:
+        """Generate this dataset at ``scale`` (deterministic per spec seed)."""
+        if scale not in self.sizes:
+            raise DatasetError(
+                f"dataset {self.name!r} has no scale {scale!r}; "
+                f"available: {sorted(self.sizes)}"
+            )
+        return self.builder(self.sizes[scale], self.seed)
+
+
+def _wiki_vote(n: int, seed: int) -> DiGraph:
+    # >60% zero in-degree periphery voting into a dense core (paper §6.1).
+    return locally_dense_graph(
+        n, core_fraction=0.35, core_out_degree=10, periphery_out_degree=3, seed=seed
+    )
+
+
+def _hepth(n: int, seed: int) -> DiGraph:
+    # undirected collaboration network stored as reciprocal edge pairs.
+    return undirected_as_digraph(n, attachment=3, seed=seed)
+
+
+def _as_topology(n: int, seed: int) -> DiGraph:
+    # autonomous-systems topology: sparse preferential attachment.
+    return preferential_attachment_graph(n, out_degree=4, seed=seed)
+
+
+def _hepph(n: int, seed: int) -> DiGraph:
+    # denser citation network (HepPh has ~12 edges/node).
+    return preferential_attachment_graph(n, out_degree=12, seed=seed)
+
+
+def _livejournal(n: int, seed: int) -> DiGraph:
+    # social network, moderately dense, heavy-tailed.
+    return preferential_attachment_graph(n, out_degree=14, seed=seed)
+
+
+def _it2004(n: int, seed: int) -> DiGraph:
+    # "locally sparse" web crawl: copying model, bounded out-degree.
+    return web_graph(n, out_degree=6, copy_probability=0.65, seed=seed)
+
+
+def _twitter(n: int, seed: int) -> DiGraph:
+    # "locally dense" follower graph: large dense core.
+    return locally_dense_graph(
+        n, core_fraction=0.5, core_out_degree=18, periphery_out_degree=4, seed=seed
+    )
+
+
+def _friendster(n: int, seed: int) -> DiGraph:
+    # very large social graph; dense preferential attachment.
+    return preferential_attachment_graph(n, out_degree=18, seed=seed)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec(
+            name="wiki-vote",
+            kind="small",
+            profile="directed vote graph; dense core, >60% zero in-degree",
+            builder=_wiki_vote,
+            sizes={"tiny": 200, "small": 1200, "paper": 7155},
+            seed=101,
+        ),
+        DatasetSpec(
+            name="hepth",
+            kind="small",
+            profile="undirected collaboration network (reciprocal edges)",
+            builder=_hepth,
+            sizes={"tiny": 200, "small": 1000, "paper": 9877},
+            seed=102,
+        ),
+        DatasetSpec(
+            name="as",
+            kind="small",
+            profile="autonomous systems topology; sparse power-law",
+            builder=_as_topology,
+            sizes={"tiny": 250, "small": 1500, "paper": 26475},
+            seed=103,
+        ),
+        DatasetSpec(
+            name="hepph",
+            kind="small",
+            profile="dense citation network (~12 edges/node)",
+            builder=_hepph,
+            sizes={"tiny": 250, "small": 1500, "paper": 34546},
+            seed=104,
+        ),
+        DatasetSpec(
+            name="livejournal",
+            kind="large",
+            profile="social network; heavy-tailed, ~14 edges/node",
+            builder=_livejournal,
+            sizes={"tiny": 500, "small": 8000, "paper": 60000},
+            seed=105,
+        ),
+        DatasetSpec(
+            name="it-2004",
+            kind="large",
+            profile="web crawl; locally sparse, bounded out-degree",
+            builder=_it2004,
+            sizes={"tiny": 600, "small": 12000, "paper": 100000},
+            seed=106,
+        ),
+        DatasetSpec(
+            name="twitter",
+            kind="large",
+            profile="follower graph; locally dense core",
+            builder=_twitter,
+            sizes={"tiny": 500, "small": 8000, "paper": 50000},
+            seed=107,
+        ),
+        DatasetSpec(
+            name="friendster",
+            kind="large",
+            profile="very large social graph; dense power-law",
+            builder=_friendster,
+            sizes={"tiny": 500, "small": 10000, "paper": 80000},
+            seed=108,
+        ),
+    )
+}
+
+
+def load_dataset(name: str, scale: str = "small") -> DiGraph:
+    """Build the named stand-in at the requested scale (deterministic)."""
+    spec = DATASETS.get(name)
+    if spec is None:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+    return spec.build(scale)
+
+
+def small_dataset_names() -> list[str]:
+    """The four Figures 4-7 graphs, in the paper's order."""
+    return ["wiki-vote", "hepth", "as", "hepph"]
+
+
+def large_dataset_names() -> list[str]:
+    """The four Table 4 / Figures 8-10 graphs, in the paper's order."""
+    return ["livejournal", "it-2004", "twitter", "friendster"]

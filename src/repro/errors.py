@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to graph construction or mutation."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A referenced node does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge does not exist in the graph."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge ({source!r} -> {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s its args; undo that.
+        return self.args[0]
+
+
+class DuplicateEdgeError(GraphError):
+    """An edge insertion would create a parallel edge in a simple graph."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge ({source!r} -> {target!r}) already exists")
+        self.source = source
+        self.target = target
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An algorithm was configured with invalid or inconsistent parameters."""
+
+
+class BudgetError(ConfigurationError):
+    """The error budget of Theorem 2 cannot be satisfied by the given split."""
+
+
+class QueryError(ReproError, ValueError):
+    """A similarity query was issued with invalid arguments."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, loaded, or parsed."""
+
+
+class EvaluationError(ReproError):
+    """An evaluation protocol (pooling, ground truth) was misused."""

@@ -1,0 +1,35 @@
+"""Evaluation machinery of §6: metrics, exact ground truth, pooling, query
+sampling, and the experiment runner that regenerates the paper's tables and
+figures."""
+
+from repro.eval.ground_truth import GroundTruth, compute_ground_truth
+from repro.eval.metrics import (
+    abs_error_max,
+    abs_error_mean,
+    kendall_tau,
+    ndcg_at_k,
+    precision_at_k,
+)
+from repro.eval.pooling import PoolingEvaluation, pool_evaluate
+from repro.eval.queries import sample_query_nodes
+from repro.eval.reporting import format_table
+from repro.eval.runner import MethodSpec, SingleSourceOutcome, TopKOutcome, run_single_source, run_topk
+
+__all__ = [
+    "GroundTruth",
+    "MethodSpec",
+    "PoolingEvaluation",
+    "SingleSourceOutcome",
+    "TopKOutcome",
+    "abs_error_max",
+    "abs_error_mean",
+    "compute_ground_truth",
+    "format_table",
+    "kendall_tau",
+    "ndcg_at_k",
+    "pool_evaluate",
+    "precision_at_k",
+    "run_single_source",
+    "run_topk",
+    "sample_query_nodes",
+]

@@ -1,0 +1,143 @@
+"""ASCII charts for the benchmark harness.
+
+The paper's Figures 4-10 are scatter/line plots of accuracy against query
+time.  matplotlib is unavailable in offline environments, so the harness
+renders the same series as ASCII scatter plots: one glyph per method, log-
+scaled axes where the paper uses them.  These charts are cosmetic — the
+numeric tables remain the source of truth — but they make "who wins where"
+visible at a glance in terminal output and in the persisted result files.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationError
+
+#: glyphs assigned to series in order (paper legend order fits in five).
+GLYPHS = "o*x+#@%&"
+
+
+@dataclass
+class Series:
+    """One method's points: ``(x, y)`` pairs plus a display name."""
+
+    name: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one data point."""
+        self.points.append((float(x), float(y)))
+
+
+def _log_ticks(lo: float, hi: float) -> tuple[float, float]:
+    """Snap a positive range outward to powers of ten."""
+    return 10 ** math.floor(math.log10(lo)), 10 ** math.ceil(math.log10(hi))
+
+
+def _scale(value: float, lo: float, hi: float, size: int, log: bool) -> int:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi == lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(size - 1, max(0, round(position * (size - 1))))
+
+
+def scatter_chart(
+    series: list[Series],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render series as an ASCII scatter plot.
+
+    Log axes require strictly positive coordinates on that axis (points at
+    zero are clamped to the smallest positive value present).
+    """
+    if not series or all(not s.points for s in series):
+        raise EvaluationError("scatter_chart needs at least one point")
+    if width < 10 or height < 4:
+        raise EvaluationError("chart must be at least 10x4")
+
+    xs = [p[0] for s in series for p in s.points]
+    ys = [p[1] for s in series for p in s.points]
+    if log_x:
+        positive = [x for x in xs if x > 0]
+        if not positive:
+            raise EvaluationError("log x-axis needs a positive x value")
+        floor = min(positive)
+        xs = [max(x, floor) for x in xs]
+    if log_y:
+        positive = [y for y in ys if y > 0]
+        if not positive:
+            raise EvaluationError("log y-axis needs a positive y value")
+        floor = min(positive)
+        ys = [max(y, floor) for y in ys]
+
+    x_lo, x_hi = (min(xs), max(xs))
+    y_lo, y_hi = (min(ys), max(ys))
+    if log_x:
+        x_lo, x_hi = _log_ticks(x_lo, x_hi)
+    if log_y:
+        y_lo, y_hi = _log_ticks(y_lo, y_hi)
+    if x_lo == x_hi:
+        x_hi = x_lo + 1.0
+    if y_lo == y_hi:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, one_series in enumerate(series):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        for x, y in one_series.points:
+            if log_x:
+                x = max(x, x_lo)
+            if log_y:
+                y = max(y, y_lo)
+            col = _scale(x, x_lo, x_hi, width, log_x)
+            row = height - 1 - _scale(y, y_lo, y_hi, height, log_y)
+            grid[row][col] = glyph
+
+    def fmt(value: float) -> str:
+        return f"{value:.3g}"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top={fmt(y_hi)}, bottom={fmt(y_lo)}"
+                 f"{', log' if log_y else ''})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {fmt(x_lo)} .. {fmt(x_hi)}"
+                 f"{' (log)' if log_x else ''}")
+    legend = "  ".join(
+        f"{GLYPHS[i % len(GLYPHS)]}={s.name}" for i, s in enumerate(series)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def tradeoff_chart(
+    rows: list[dict],
+    x_key: str,
+    y_key: str,
+    label_key: str = "method",
+    **kwargs,
+) -> str:
+    """Build a scatter chart straight from table rows (one series per label).
+
+    This is the one-liner the benches use: the same ``rows`` that feed
+    ``format_table`` feed the figure.
+    """
+    by_label: dict[str, Series] = {}
+    for row in rows:
+        label = str(row[label_key])
+        series = by_label.setdefault(label, Series(label))
+        series.add(float(row[x_key]), float(row[y_key]))
+    return scatter_chart(list(by_label.values()), **kwargs)

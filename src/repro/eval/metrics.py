@@ -1,0 +1,132 @@
+"""Accuracy metrics of §6.1: AbsError, Precision@k, NDCG@k, Kendall τk.
+
+All metrics take *true* SimRank scores as numpy arrays plus the method's
+returned nodes/estimates, and match the paper's definitions:
+
+- ``AbsError = max_{v != u} |s(u,v) - s~(u,v)|`` for single-source answers;
+- ``Precision@k = |V_k ∩ V'_k| / k`` with a tie-tolerant ground-truth set
+  (any node whose true score reaches the k-th best counts as correct —
+  without this, equal-score nodes at the boundary make precision depend on
+  arbitrary tie-breaks);
+- ``NDCG@k = (1/Z_k) * sum_i (2^{s(u,v_i)} - 1) / log2(i + 1)`` with ``Z_k``
+  from the ideal (true top-k) ordering;
+- ``τk = (#concordant - #discordant) / (k (k-1) / 2)`` over pairs of returned
+  nodes, judged against their true scores (ties contribute zero).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+
+def _as_nodes(nodes) -> np.ndarray:
+    arr = np.asarray(nodes, dtype=np.int64)
+    if arr.ndim != 1:
+        raise EvaluationError("node list must be 1-D")
+    if len(set(arr.tolist())) != len(arr):
+        raise EvaluationError("node list contains duplicates")
+    return arr
+
+
+def abs_error_max(estimates: np.ndarray, truth: np.ndarray, query: int) -> float:
+    """Maximum absolute estimation error over all nodes except the query."""
+    estimates = np.asarray(estimates, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if estimates.shape != truth.shape:
+        raise EvaluationError(
+            f"shape mismatch: estimates {estimates.shape} vs truth {truth.shape}"
+        )
+    diff = np.abs(estimates - truth)
+    diff[query] = 0.0
+    return float(diff.max()) if len(diff) else 0.0
+
+
+def abs_error_mean(estimates: np.ndarray, truth: np.ndarray, query: int) -> float:
+    """Mean absolute estimation error over all nodes except the query."""
+    estimates = np.asarray(estimates, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if estimates.shape != truth.shape:
+        raise EvaluationError(
+            f"shape mismatch: estimates {estimates.shape} vs truth {truth.shape}"
+        )
+    if len(estimates) <= 1:
+        return 0.0
+    diff = np.abs(estimates - truth)
+    diff[query] = 0.0
+    return float(diff.sum() / (len(diff) - 1))
+
+
+def precision_at_k(
+    returned_nodes, true_scores: np.ndarray, k: int, query: int
+) -> float:
+    """Tie-tolerant Precision@k.
+
+    A returned node is correct when its true score is at least the k-th
+    largest true score among all non-query nodes.
+    """
+    returned = _as_nodes(returned_nodes)[:k]
+    if len(returned) == 0:
+        return 0.0
+    true_scores = np.asarray(true_scores, dtype=np.float64)
+    candidates = np.delete(true_scores, query)
+    if k > len(candidates):
+        raise EvaluationError(f"k={k} exceeds number of candidate nodes {len(candidates)}")
+    kth_best = np.partition(candidates, -k)[-k]
+    hits = sum(
+        1 for node in returned.tolist() if node != query and true_scores[node] >= kth_best
+    )
+    return hits / k
+
+
+def ndcg_at_k(returned_nodes, true_scores: np.ndarray, k: int, query: int) -> float:
+    """NDCG@k with exponential gains ``2^s - 1`` (paper's §6.1 definition)."""
+    returned = _as_nodes(returned_nodes)[:k]
+    true_scores = np.asarray(true_scores, dtype=np.float64)
+    discounts = 1.0 / np.log2(np.arange(2, k + 2, dtype=np.float64))
+
+    gains = np.zeros(k, dtype=np.float64)
+    for rank, node in enumerate(returned.tolist()):
+        if node == query:
+            raise EvaluationError("returned top-k list contains the query node")
+        gains[rank] = 2.0 ** true_scores[node] - 1.0
+    dcg = float((gains * discounts).sum())
+
+    candidates = np.delete(true_scores, query)
+    if k > len(candidates):
+        raise EvaluationError(f"k={k} exceeds number of candidate nodes {len(candidates)}")
+    ideal = np.sort(candidates)[::-1][:k]
+    ideal_gains = 2.0**ideal - 1.0
+    z_k = float((ideal_gains * discounts).sum())
+    if z_k == 0.0:
+        # no node has positive similarity: every list is ideal.
+        return 1.0
+    return dcg / z_k
+
+
+def kendall_tau(returned_nodes, true_scores: np.ndarray, query: int | None = None) -> float:
+    """Kendall τ of the returned ordering against the true scores.
+
+    ``τk = (#concordant - #discordant) / (k (k-1) / 2)`` over all pairs of
+    returned nodes; a pair is concordant when the list order agrees with the
+    true-score order, discordant when it disagrees, and neutral on true-score
+    ties.  Returns 1.0 for lists of length < 2 (nothing can be mis-ordered).
+    """
+    returned = _as_nodes(returned_nodes)
+    true_scores = np.asarray(true_scores, dtype=np.float64)
+    if query is not None and query in set(returned.tolist()):
+        raise EvaluationError("returned top-k list contains the query node")
+    k = len(returned)
+    if k < 2:
+        return 1.0
+    scores = true_scores[returned]
+    concordant = 0
+    discordant = 0
+    for i in range(k):
+        # list position i is ranked above positions j > i
+        later = scores[i + 1 :]
+        concordant += int((scores[i] > later).sum())
+        discordant += int((scores[i] < later).sum())
+    total_pairs = k * (k - 1) / 2
+    return (concordant - discordant) / total_pairs

@@ -1,0 +1,36 @@
+"""Query workload sampling (§6.1/§6.2 protocol).
+
+The paper selects query nodes "uniformly at random from those with nonzero
+in-degrees" — a node with no in-edges has ``s(u, v) = 0`` against everything,
+which would make every method trivially exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.graph.csr import as_csr
+from repro.utils.rng import as_generator
+
+
+def sample_query_nodes(
+    graph,
+    count: int,
+    seed=None,
+    require_nonzero_in_degree: bool = True,
+) -> list[int]:
+    """Sample ``count`` distinct query nodes (without replacement)."""
+    if count <= 0:
+        raise EvaluationError(f"count must be positive, got {count}")
+    csr = as_csr(graph)
+    rng = as_generator(seed)
+    if require_nonzero_in_degree:
+        eligible = np.nonzero(csr.in_degrees > 0)[0]
+    else:
+        eligible = np.arange(csr.num_nodes, dtype=np.int64)
+    if len(eligible) == 0:
+        raise EvaluationError("graph has no eligible query nodes")
+    count = min(count, len(eligible))
+    chosen = rng.choice(eligible, size=count, replace=False)
+    return sorted(int(node) for node in chosen)

@@ -1,0 +1,156 @@
+"""Experiment runner: execute method x query grids and aggregate the metrics
+the paper reports.
+
+A *method* is anything exposing ``single_source(query) -> SimRankResult``; a
+:class:`MethodSpec` binds a display name to a zero-argument factory so each
+experiment constructs fresh instances (with fresh seeds) per dataset.
+
+:func:`run_single_source` reproduces the Figure 4 protocol (average max
+AbsError and average query time over a query set); :func:`run_topk` the
+Figures 5-7 protocol (Precision@k / NDCG@k / τk against exact ground truth).
+Pooling runs (Figures 8-10) are assembled in the benchmark harness from
+:func:`repro.eval.pooling.pool_evaluate` because they need all methods' lists
+per query before anything can be scored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.eval.ground_truth import GroundTruth
+from repro.eval.metrics import abs_error_max, kendall_tau, ndcg_at_k, precision_at_k
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A named, lazily-constructed query method."""
+
+    name: str
+    factory: Callable[[], object]
+
+    def build(self):
+        """Construct a fresh method instance and check its interface."""
+        method = self.factory()
+        if not hasattr(method, "single_source"):
+            raise EvaluationError(
+                f"method {self.name!r} does not expose single_source()"
+            )
+        return method
+
+
+@dataclass
+class SingleSourceOutcome:
+    """Aggregated Figure 4-style numbers for one method on one dataset."""
+
+    method: str
+    abs_errors: list[float] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)
+
+    @property
+    def mean_abs_error(self) -> float:
+        return float(np.mean(self.abs_errors)) if self.abs_errors else 0.0
+
+    @property
+    def mean_time(self) -> float:
+        return float(np.mean(self.times)) if self.times else 0.0
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict row for table rendering."""
+        return {
+            "method": self.method,
+            "abs_error": self.mean_abs_error,
+            "query_time_s": self.mean_time,
+            "queries": len(self.abs_errors),
+        }
+
+
+@dataclass
+class TopKOutcome:
+    """Aggregated Figures 5-7 numbers for one method on one dataset."""
+
+    method: str
+    precisions: list[float] = field(default_factory=list)
+    ndcgs: list[float] = field(default_factory=list)
+    taus: list[float] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)
+
+    @property
+    def mean_precision(self) -> float:
+        return float(np.mean(self.precisions)) if self.precisions else 0.0
+
+    @property
+    def mean_ndcg(self) -> float:
+        return float(np.mean(self.ndcgs)) if self.ndcgs else 0.0
+
+    @property
+    def mean_tau(self) -> float:
+        return float(np.mean(self.taus)) if self.taus else 0.0
+
+    @property
+    def mean_time(self) -> float:
+        return float(np.mean(self.times)) if self.times else 0.0
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict row for table rendering."""
+        return {
+            "method": self.method,
+            "precision": self.mean_precision,
+            "ndcg": self.mean_ndcg,
+            "tau": self.mean_tau,
+            "query_time_s": self.mean_time,
+            "queries": len(self.precisions),
+        }
+
+
+def run_single_source(
+    methods: Sequence[MethodSpec],
+    queries: Sequence[int],
+    ground_truth: GroundTruth,
+) -> list[SingleSourceOutcome]:
+    """Figure 4 protocol: per-query max AbsError + query time, averaged."""
+    if not queries:
+        raise EvaluationError("need at least one query node")
+    outcomes = []
+    for spec in methods:
+        method = spec.build()
+        outcome = SingleSourceOutcome(method=spec.name)
+        for query in queries:
+            result = method.single_source(query)
+            truth = ground_truth.single_source(query)
+            outcome.abs_errors.append(
+                abs_error_max(result.scores, truth, query)
+            )
+            outcome.times.append(result.elapsed)
+        outcomes.append(outcome)
+    return outcomes
+
+
+def run_topk(
+    methods: Sequence[MethodSpec],
+    queries: Sequence[int],
+    ground_truth: GroundTruth,
+    k: int,
+) -> list[TopKOutcome]:
+    """Figures 5-7 protocol: top-k quality against exact ground truth."""
+    if not queries:
+        raise EvaluationError("need at least one query node")
+    if k <= 0:
+        raise EvaluationError(f"k must be positive, got {k}")
+    outcomes = []
+    for spec in methods:
+        method = spec.build()
+        outcome = TopKOutcome(method=spec.name)
+        for query in queries:
+            result = method.single_source(query)
+            top = result.topk(k)
+            truth = ground_truth.single_source(query)
+            outcome.precisions.append(precision_at_k(top.nodes, truth, k, query))
+            outcome.ndcgs.append(ndcg_at_k(top.nodes, truth, k, query))
+            outcome.taus.append(kendall_tau(top.nodes, truth, query))
+            outcome.times.append(result.elapsed)
+        outcomes.append(outcome)
+    return outcomes

@@ -1,0 +1,179 @@
+"""A lightweight walk-cache index (the paper's §7 future-work direction).
+
+ProbeSim's per-query cost splits into (a) sampling ``nr`` √c-walks and
+(b) probing their distinct prefixes.  For *repeated* queries on a slowly
+changing graph, (a) and the tree construction can be cached: this index
+stores, per registered node, the reverse-reachability tree of its walks.
+Queries then reuse the tree and only re-run the probes — which always execute
+against the *current* graph, so out-edge/in-degree changes are reflected
+immediately.
+
+Correctness under updates: a cached tree is a sample from the √c-walk
+distribution, which depends only on the in-neighbour lists of the nodes the
+walks visit.  An update touching node ``v`` (as the *target* of an inserted /
+deleted in-edge, changing ``I(v)``) staleness-invalidates exactly the cached
+trees whose walks visit ``v``; all other trees remain exact samples.  The
+node-to-tree incidence map makes that invalidation O(#affected trees).
+
+This keeps the index "lightweight" in the paper's sense: space is
+O(#cached nodes * nr * E[walk length]) integers — independent of m — and
+maintenance is a set lookup per update, versus TSF's Rg*n one-way graphs or
+SLING's full rebuild.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ProbeSimConfig
+from repro.core.engine import ProbeSim, QueryStats
+from repro.core.results import SimRankResult, TopKResult
+from repro.core.tree import ReachabilityTree
+from repro.errors import QueryError
+from repro.graph.dynamic import EdgeUpdate
+from repro.utils.sizing import deep_sizeof
+from repro.utils.timer import Timer
+
+
+class WalkIndex:
+    """Cached-walk accelerator around a :class:`ProbeSim` engine.
+
+    >>> from repro.graph import DiGraph
+    >>> g = DiGraph.from_edges([(0, 1), (1, 0), (2, 0), (2, 1)])
+    >>> index = WalkIndex(g, eps_a=0.2, seed=3)
+    >>> index.single_source(0).score(0)   # first call: samples + caches walks
+    1.0
+    >>> index.hit_rate                    # second call would be a cache hit
+    0.0
+    """
+
+    def __init__(self, graph, config: ProbeSimConfig | None = None, **overrides) -> None:
+        self._engine = ProbeSim(graph, config=config, **overrides)
+        self._trees: dict[int, ReachabilityTree] = {}
+        self._touched: dict[int, set[int]] = {}  # graph node -> cached query nodes
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def engine(self) -> ProbeSim:
+        return self._engine
+
+    @property
+    def config(self) -> ProbeSimConfig:
+        return self._engine.config
+
+    @property
+    def hit_rate(self) -> float:
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def warm(self, nodes) -> None:
+        """Pre-sample walk trees for the given (expected hot) query nodes."""
+        for node in nodes:
+            self._tree_for(int(node))
+
+    def single_source(self, query: int) -> SimRankResult:
+        """ProbeSim single-source answer, reusing the cached walk tree."""
+        timer = Timer()
+        with timer:
+            tree = self._tree_for(query)
+            stats = QueryStats(num_walks=tree.num_walks)
+            # Always probe deterministically: cache hits then return
+            # bit-identical answers, which is the behaviour one expects of an
+            # index (the hybrid's randomized switch would re-draw RNG state
+            # on every hit).
+            estimates = self._engine.estimate_from_tree(tree, stats, hybrid=False)
+            estimates[query] = 1.0
+            cfg = self.config
+            if cfg.compensate_truncation and cfg.prune:
+                estimates += cfg.budget.eps_t / 2.0
+                estimates[query] = 1.0
+        return SimRankResult(
+            query=query,
+            scores=estimates,
+            num_walks=tree.num_walks,
+            elapsed=timer.elapsed,
+            method="probesim-walkindex",
+        )
+
+    def topk(self, query: int, k: int) -> TopKResult:
+        """Top-k answer from the cached-walk single-source estimate."""
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        return self.single_source(query).topk(k)
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+
+    def apply_update(self, update: EdgeUpdate) -> None:
+        """Invalidate cached trees whose walk distribution the update stales.
+
+        The caller mutates the graph itself (and the engine refreshes its
+        snapshot); this method only evicts cache entries that visit the
+        update's *target* node, whose in-neighbour list changed.
+        """
+        self._engine.refresh()
+        stale_queries = self._touched.get(update.target, set()).copy()
+        for query in stale_queries:
+            self._evict(query)
+
+    def invalidate_all(self) -> None:
+        """Drop every cached tree (e.g. after bulk graph replacement)."""
+        self._trees.clear()
+        self._touched.clear()
+        self._engine.refresh()
+
+    def index_bytes(self) -> int:
+        """Actual Python memory of the cached trees + incidence map."""
+        return deep_sizeof(self._trees) + deep_sizeof(self._touched)
+
+    def payload_bytes(self) -> int:
+        """C-equivalent payload: what a native implementation would store.
+
+        Each tree node is (graph node id, weight, child pointer) ~ 16 bytes;
+        each incidence entry (node -> query) ~ 8 bytes.  This is the number
+        comparable to :meth:`repro.baselines.tsf.TSFIndex.index_bytes`, which
+        measures raw array payloads.
+        """
+        tree_nodes = sum(t.num_tree_nodes() + 1 for t in self._trees.values())
+        incidence = sum(len(qs) for qs in self._touched.values())
+        return 16 * tree_nodes + 8 * incidence
+
+    @property
+    def num_cached(self) -> int:
+        return len(self._trees)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _tree_for(self, query: int) -> ReachabilityTree:
+        tree = self._trees.get(query)
+        if tree is not None:
+            self._hits += 1
+            return tree
+        self._misses += 1
+        engine = self._engine
+        engine._check_query(query)
+        stats = QueryStats()
+        walks = engine._sample_walks(query, stats)
+        tree = ReachabilityTree.from_walks(walks)
+        self._trees[query] = tree
+        visited = {node for walk in walks for node in walk}
+        for node in visited:
+            self._touched.setdefault(node, set()).add(query)
+        return tree
+
+    def _evict(self, query: int) -> None:
+        self._trees.pop(query, None)
+        for queries in self._touched.values():
+            queries.discard(query)
+
+    def __repr__(self) -> str:
+        return (
+            f"WalkIndex(cached={self.num_cached}, hits={self._hits}, "
+            f"misses={self._misses})"
+        )

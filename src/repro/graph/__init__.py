@@ -1,0 +1,39 @@
+"""Graph substrate: dynamic directed graphs, frozen CSR snapshots, generators,
+edge-list I/O, statistics, and update streams.
+
+The SimRank algorithms in :mod:`repro.core` and :mod:`repro.baselines` operate
+on :class:`~repro.graph.csr.CSRGraph` snapshots for speed; the mutable
+:class:`~repro.graph.digraph.DiGraph` is the dynamic-graph substrate the paper
+motivates (index-free queries keep working across updates because a snapshot
+is just the graph itself, not a precomputed index).
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.dynamic import EdgeUpdate, UpdateStream, apply_update, generate_update_stream
+from repro.graph.generators import (
+    chung_lu_graph,
+    erdos_renyi_graph,
+    locally_dense_graph,
+    preferential_attachment_graph,
+    web_graph,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.stats import GraphStats, compute_stats
+
+__all__ = [
+    "CSRGraph",
+    "DiGraph",
+    "EdgeUpdate",
+    "GraphStats",
+    "UpdateStream",
+    "apply_update",
+    "chung_lu_graph",
+    "compute_stats",
+    "erdos_renyi_graph",
+    "generate_update_stream",
+    "locally_dense_graph",
+    "preferential_attachment_graph",
+    "read_edge_list",
+    "web_graph",
+]

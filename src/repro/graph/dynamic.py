@@ -1,0 +1,127 @@
+"""Dynamic-graph substrate: edge update streams.
+
+The paper's headline claim is that an *index-free* algorithm naturally
+supports real-time queries on dynamic graphs, while index-based methods must
+rebuild (SLING) or incrementally patch (TSF) their structures.  This module
+provides the workload half of that claim: reproducible streams of edge
+insertions/deletions, and helpers to apply them to a :class:`DiGraph` (and,
+for TSF, to notify an index — see :meth:`repro.baselines.tsf.TSFIndex.apply_update`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction, check_positive_int
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One graph mutation: insert or delete the edge ``source -> target``."""
+
+    kind: str  # "insert" | "delete"
+    source: int
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("insert", "delete"):
+            raise GraphError(f"update kind must be 'insert' or 'delete', got {self.kind!r}")
+        if self.source == self.target:
+            raise GraphError("updates may not create self-loops")
+
+
+class UpdateStream:
+    """An immutable sequence of :class:`EdgeUpdate` operations."""
+
+    def __init__(self, updates: list[EdgeUpdate]) -> None:
+        self._updates = tuple(updates)
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __iter__(self) -> Iterator[EdgeUpdate]:
+        return iter(self._updates)
+
+    def __getitem__(self, index: int) -> EdgeUpdate:
+        return self._updates[index]
+
+    @property
+    def num_inserts(self) -> int:
+        return sum(1 for u in self._updates if u.kind == "insert")
+
+    @property
+    def num_deletes(self) -> int:
+        return len(self._updates) - self.num_inserts
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateStream(len={len(self)}, inserts={self.num_inserts}, "
+            f"deletes={self.num_deletes})"
+        )
+
+
+def generate_update_stream(
+    graph: DiGraph,
+    num_updates: int,
+    insert_fraction: float = 0.5,
+    seed=None,
+) -> UpdateStream:
+    """Generate a valid update stream against (a simulated evolution of) ``graph``.
+
+    The stream is generated against a scratch copy so that every insert is of
+    an absent edge and every delete is of a present edge *at the moment it is
+    applied in order*.  ``graph`` itself is not modified.
+    """
+    check_positive_int("num_updates", num_updates)
+    check_fraction("insert_fraction", insert_fraction)
+    rng = as_generator(seed)
+    scratch = graph.copy()
+    n = scratch.num_nodes
+    if n < 2:
+        raise GraphError("need at least 2 nodes to generate updates")
+
+    updates: list[EdgeUpdate] = []
+    edge_pool: list[tuple[int, int]] = list(scratch.edges())
+    while len(updates) < num_updates:
+        want_insert = rng.random() < insert_fraction or scratch.num_edges == 0
+        if want_insert:
+            for _ in range(100):
+                s = int(rng.integers(n))
+                t = int(rng.integers(n))
+                if s != t and not scratch.has_edge(s, t):
+                    scratch.add_edge(s, t)
+                    edge_pool.append((s, t))
+                    updates.append(EdgeUpdate("insert", s, t))
+                    break
+            else:
+                raise GraphError("could not find a free edge slot after 100 attempts")
+        else:
+            while edge_pool:
+                idx = int(rng.integers(len(edge_pool)))
+                s, t = edge_pool[idx]
+                edge_pool[idx] = edge_pool[-1]
+                edge_pool.pop()
+                if scratch.has_edge(s, t):
+                    scratch.remove_edge(s, t)
+                    updates.append(EdgeUpdate("delete", s, t))
+                    break
+    return UpdateStream(updates)
+
+
+def apply_update(graph: DiGraph, update: EdgeUpdate) -> None:
+    """Apply one update in place."""
+    if update.kind == "insert":
+        graph.add_edge(update.source, update.target)
+    else:
+        graph.remove_edge(update.source, update.target)
+
+
+def apply_stream(graph: DiGraph, stream: UpdateStream) -> DiGraph:
+    """Apply a full stream in place and return ``graph`` for chaining."""
+    for update in stream:
+        apply_update(graph, update)
+    return graph

@@ -1,0 +1,230 @@
+"""Seeded synthetic graph generators.
+
+These produce the stand-in datasets described in DESIGN.md §2: the paper's
+benchmark graphs come from SNAP/LAW downloads that are unavailable offline, so
+each generator targets the *structural profile* that drives the relative
+behaviour of the SimRank algorithms — degree skew, direction, and local
+density — at a reproducible, reduced scale.
+
+All generators return a :class:`~repro.graph.digraph.DiGraph`, take an
+explicit ``seed``, and are deterministic given it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction, check_positive_int
+
+
+def erdos_renyi_graph(
+    num_nodes: int, num_edges: int, seed=None, allow_fewer: bool = True
+) -> DiGraph:
+    """Uniform random simple digraph with ``num_edges`` distinct edges.
+
+    Edges are drawn by rejection sampling over ``(s, t)`` pairs with
+    ``s != t``.  With ``allow_fewer=False`` a :class:`GraphError` is raised if
+    the requested count exceeds ``n * (n - 1)``.
+    """
+    check_positive_int("num_nodes", num_nodes)
+    if num_edges < 0:
+        raise GraphError(f"num_edges must be non-negative, got {num_edges}")
+    capacity = num_nodes * (num_nodes - 1)
+    if num_edges > capacity:
+        if not allow_fewer:
+            raise GraphError(
+                f"cannot place {num_edges} simple edges on {num_nodes} nodes "
+                f"(capacity {capacity})"
+            )
+        num_edges = capacity
+    rng = as_generator(seed)
+    graph = DiGraph(num_nodes)
+    seen: set[tuple[int, int]] = set()
+    # Draw in vectorised blocks; rejection keeps the distribution uniform.
+    while len(seen) < num_edges:
+        need = num_edges - len(seen)
+        block = max(64, int(need * 1.3))
+        sources = rng.integers(0, num_nodes, size=block)
+        targets = rng.integers(0, num_nodes, size=block)
+        for s, t in zip(sources.tolist(), targets.tolist()):
+            if s == t:
+                continue
+            key = (s, t)
+            if key in seen:
+                continue
+            seen.add(key)
+            graph.add_edge(s, t)
+            if len(seen) == num_edges:
+                break
+    return graph
+
+
+def preferential_attachment_graph(
+    num_nodes: int, out_degree: int, seed=None
+) -> DiGraph:
+    """Directed Barabási–Albert-style graph (heavy-tailed in-degrees).
+
+    Node ``i`` (for ``i >= out_degree``) attaches ``out_degree`` out-edges to
+    earlier nodes chosen preferentially by current in-degree (+1 smoothing).
+    Models citation networks (HepPh/HepTh-like) and AS topologies: old nodes
+    accumulate in-links, producing the power-law in-degree skew that makes
+    PROBE frontiers blow up through hub nodes.
+    """
+    check_positive_int("num_nodes", num_nodes)
+    check_positive_int("out_degree", out_degree)
+    if out_degree >= num_nodes:
+        raise GraphError("out_degree must be smaller than num_nodes")
+    rng = as_generator(seed)
+    graph = DiGraph(num_nodes)
+    # attachment pool: node ids repeated once per (in-degree + 1).
+    pool: list[int] = list(range(out_degree))
+    for node in range(out_degree, num_nodes):
+        chosen: set[int] = set()
+        attempts = 0
+        while len(chosen) < min(out_degree, node) and attempts < 50 * out_degree:
+            target = pool[int(rng.integers(len(pool)))]
+            attempts += 1
+            if target != node:
+                chosen.add(target)
+        for target in chosen:
+            graph.add_edge(node, target)
+            pool.append(target)
+        pool.append(node)
+    return graph
+
+
+def chung_lu_graph(
+    in_weights: np.ndarray, out_weights: np.ndarray, seed=None
+) -> DiGraph:
+    """Directed Chung–Lu graph: edge ``s -> t`` appears with probability
+    ``min(1, out_weights[s] * in_weights[t] / W)`` where ``W = sum(out_weights)``.
+
+    Gives independent control of in-/out-degree sequences, which is how the
+    stand-ins match a target dataset's degree profile directly.
+    """
+    in_weights = np.asarray(in_weights, dtype=np.float64)
+    out_weights = np.asarray(out_weights, dtype=np.float64)
+    if in_weights.shape != out_weights.shape or in_weights.ndim != 1:
+        raise GraphError("in_weights and out_weights must be 1-D arrays of equal length")
+    if np.any(in_weights < 0) or np.any(out_weights < 0):
+        raise GraphError("Chung-Lu weights must be non-negative")
+    n = len(in_weights)
+    total = float(out_weights.sum())
+    if total <= 0:
+        return DiGraph(n)
+    rng = as_generator(seed)
+    graph = DiGraph(n)
+    # Expected edge count is sum_s sum_t w_out[s] w_in[t] / W = sum(w_in).
+    # Sample per-source targets with a Poisson-style approximation: each
+    # source s draws Binomial-ish count proportional to its weight, targets
+    # by the in-weight distribution, then rejects duplicates/self-loops.
+    in_probs = in_weights / in_weights.sum() if in_weights.sum() > 0 else None
+    if in_probs is None:
+        return graph
+    for source in range(n):
+        expected = out_weights[source] * in_weights.sum() / total
+        count = rng.poisson(expected)
+        if count == 0:
+            continue
+        targets = rng.choice(n, size=int(count), p=in_probs)
+        for target in np.unique(targets).tolist():
+            if target != source and not graph.has_edge(source, int(target)):
+                graph.add_edge(source, int(target))
+    return graph
+
+
+def locally_dense_graph(
+    num_nodes: int,
+    core_fraction: float = 0.3,
+    core_out_degree: int = 12,
+    periphery_out_degree: int = 2,
+    seed=None,
+) -> DiGraph:
+    """'Locally dense' social-style graph (Wiki-Vote / Twitter profile).
+
+    A dense preferential-attachment core holds ``core_fraction`` of the nodes;
+    the rest are periphery nodes with *zero in-degree* that point into the
+    core (the paper observes >60% of Wiki-Vote nodes have zero in-degree while
+    the remainder form a dense subgraph).  Walks from core nodes stay in the
+    dense core, which is what stresses meeting-point enumeration.
+    """
+    check_positive_int("num_nodes", num_nodes)
+    check_fraction("core_fraction", core_fraction)
+    rng = as_generator(seed)
+    core_size = max(core_out_degree + 1, int(num_nodes * core_fraction))
+    if core_size >= num_nodes:
+        core_size = num_nodes
+    graph = preferential_attachment_graph(core_size, core_out_degree, seed=rng)
+    # densify the core with random extra edges among core nodes.
+    extra = core_size * max(1, core_out_degree // 2)
+    for _ in range(extra):
+        s = int(rng.integers(core_size))
+        t = int(rng.integers(core_size))
+        if s != t and not graph.has_edge(s, t):
+            graph.add_edge(s, t)
+    # periphery: zero in-degree nodes pointing into the core.
+    for _ in range(core_size, num_nodes):
+        node = graph.add_node()
+        targets = rng.choice(core_size, size=min(periphery_out_degree, core_size), replace=False)
+        for target in targets.tolist():
+            graph.add_edge(node, int(target))
+    return graph
+
+
+def web_graph(
+    num_nodes: int,
+    out_degree: int = 6,
+    copy_probability: float = 0.6,
+    seed=None,
+) -> DiGraph:
+    """'Locally sparse' web-style graph (IT-2004 profile) via the copying model.
+
+    Each new page links to ``out_degree`` targets; with ``copy_probability``
+    a target is copied from a random earlier page's links (creating hub/
+    authority structure and long chains), otherwise chosen uniformly.  Out-
+    degrees are bounded, in-degrees heavy-tailed but the graph lacks a single
+    dense core — walks disperse quickly, which is what makes web graphs cheap
+    for ProbeSim relative to social graphs.
+    """
+    check_positive_int("num_nodes", num_nodes)
+    check_positive_int("out_degree", out_degree)
+    check_fraction("copy_probability", copy_probability)
+    rng = as_generator(seed)
+    graph = DiGraph(num_nodes)
+    start = min(out_degree + 1, num_nodes)
+    for node in range(1, start):
+        graph.add_edge(node, int(rng.integers(node)))
+    for node in range(start, num_nodes):
+        prototype = int(rng.integers(node))
+        proto_links = graph.out_neighbors(prototype)
+        chosen: set[int] = set()
+        for _ in range(out_degree):
+            if proto_links and rng.random() < copy_probability:
+                target = int(proto_links[int(rng.integers(len(proto_links)))])
+            else:
+                target = int(rng.integers(node))
+            if target != node:
+                chosen.add(target)
+        for target in chosen:
+            graph.add_edge(node, target)
+    return graph
+
+
+def undirected_as_digraph(num_nodes: int, attachment: int = 3, seed=None) -> DiGraph:
+    """Undirected collaboration-style graph (HepTh profile) stored as a digraph.
+
+    Each undirected edge is materialised as a reciprocal pair, matching how
+    the paper treats undirected datasets ("HepTh undirected" in Table 3).
+    """
+    check_positive_int("num_nodes", num_nodes)
+    base = preferential_attachment_graph(num_nodes, attachment, seed=seed)
+    graph = DiGraph(num_nodes)
+    for source, target in base.edges():
+        if not graph.has_edge(source, target):
+            graph.add_edge(source, target)
+        if not graph.has_edge(target, source):
+            graph.add_edge(target, source)
+    return graph

@@ -1,0 +1,23 @@
+"""Shared low-level utilities: RNG handling, validation, timing, sizing."""
+
+from repro.utils.rng import as_generator, spawn_generator
+from repro.utils.sizing import deep_sizeof, format_bytes
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "Timer",
+    "as_generator",
+    "check_fraction",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "deep_sizeof",
+    "format_bytes",
+    "spawn_generator",
+]

@@ -1,0 +1,68 @@
+"""Memory accounting for index structures (Table 4's space column).
+
+The paper reports index space overheads in GB.  Comparing Python RSS would be
+dominated by interpreter overhead, so instead each index exposes its payload
+structures and :func:`deep_sizeof` sums their recursive ``sys.getsizeof``,
+treating numpy arrays as their buffer size (``nbytes``) — the closest analogue
+of what a C++ implementation would allocate.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+
+def deep_sizeof(obj: object, _seen: set[int] | None = None) -> int:
+    """Recursive size of ``obj`` in bytes.
+
+    Follows containers (dict / list / tuple / set / frozenset) and object
+    ``__dict__`` / ``__slots__``; counts each distinct object once.  numpy
+    arrays contribute ``nbytes`` (their data buffer) plus header size.
+    """
+    if _seen is None:
+        _seen = set()
+    oid = id(obj)
+    if oid in _seen:
+        return 0
+    _seen.add(oid)
+
+    if isinstance(obj, np.ndarray):
+        # base arrays own their buffer; views do not.
+        size = sys.getsizeof(obj)
+        if obj.base is None:
+            size += obj.nbytes
+        return size
+
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        size += sum(
+            deep_sizeof(k, _seen) + deep_sizeof(v, _seen) for k, v in obj.items()
+        )
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        size += sum(deep_sizeof(item, _seen) for item in obj)
+    else:
+        attrs = getattr(obj, "__dict__", None)
+        if attrs is not None:
+            size += deep_sizeof(attrs, _seen)
+        slots = getattr(obj, "__slots__", ())
+        for slot in slots:
+            if hasattr(obj, slot):
+                size += deep_sizeof(getattr(obj, slot), _seen)
+    return size
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count: ``format_bytes(2048) == '2.00 KB'``."""
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    units = ["B", "KB", "MB", "GB", "TB"]
+    value = float(num_bytes)
+    for unit in units:
+        if value < 1024.0 or unit == units[-1]:
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")

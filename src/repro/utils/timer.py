@@ -1,0 +1,74 @@
+"""A tiny wall-clock timer used by the experiment runner.
+
+The evaluation figures in the paper plot accuracy against *query time*, so the
+runner needs consistent, low-overhead timing.  ``time.perf_counter`` is the
+right clock for that; this wrapper just adds the context-manager and
+accumulation ergonomics the runner wants.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Can be used as a context manager (each ``with`` block adds to
+    :attr:`elapsed`) or manually via :meth:`start` / :meth:`stop`.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.laps: list[float] = []
+        self._started_at: float | None = None
+
+    def start(self) -> "Timer":
+        """Begin a lap (error if already running)."""
+        if self._started_at is not None:
+            raise RuntimeError("timer is already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the timer and return the duration of the lap just ended."""
+        if self._started_at is None:
+            raise RuntimeError("timer is not running")
+        lap = time.perf_counter() - self._started_at
+        self._started_at = None
+        self.elapsed += lap
+        self.laps.append(lap)
+        return lap
+
+    def reset(self) -> None:
+        """Zero the accumulated time and lap history."""
+        self.elapsed = 0.0
+        self.laps = []
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    @property
+    def mean_lap(self) -> float:
+        """Mean duration over all completed laps (0.0 when no laps)."""
+        if not self.laps:
+            return 0.0
+        return self.elapsed / len(self.laps)
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"Timer(elapsed={self.elapsed:.6f}s, laps={len(self.laps)}, {state})"

@@ -1,0 +1,104 @@
+"""Tests for the Monte Carlo √c-walk estimator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.monte_carlo import MonteCarlo, pair_sample_size
+from repro.datasets import TOY_DECAY
+from repro.datasets.toy import node_id
+from repro.errors import ConfigurationError, QueryError
+
+
+class TestPairSampleSize:
+    def test_formula(self):
+        import math
+
+        assert pair_sample_size(0.1, 0.01) == math.ceil(math.log(100) / 0.02)
+
+    def test_monotone(self):
+        assert pair_sample_size(0.01, 0.01) > pair_sample_size(0.1, 0.01)
+        assert pair_sample_size(0.1, 0.001) > pair_sample_size(0.1, 0.1)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            pair_sample_size(0.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            pair_sample_size(0.1, 1.0)
+
+
+class TestSinglePair:
+    def test_identical_nodes(self, toy):
+        assert MonteCarlo(toy, c=TOY_DECAY, seed=1).single_pair(2, 2, 10) == 1.0
+
+    @pytest.mark.parametrize("pair", [("a", "d"), ("a", "c"), ("a", "e")])
+    def test_matches_ground_truth(self, toy, toy_truth, pair):
+        mc = MonteCarlo(toy, c=TOY_DECAY, seed=7)
+        u, v = node_id(pair[0]), node_id(pair[1])
+        estimate = mc.single_pair(u, v, 60_000)
+        assert estimate == pytest.approx(toy_truth.pair(u, v), abs=0.01)
+
+    def test_zero_similarity_pair(self):
+        from repro.graph import DiGraph
+
+        # two disconnected 2-cycles never meet
+        g = DiGraph.from_edges([(0, 1), (1, 0), (2, 3), (3, 2)])
+        mc = MonteCarlo(g, c=0.6, seed=2)
+        assert mc.single_pair(0, 2, 5000) == 0.0
+
+    def test_pair_with_guarantee_uses_budget(self, toy, toy_truth):
+        mc = MonteCarlo(toy, c=TOY_DECAY, seed=3)
+        estimate = mc.pair_with_guarantee(0, 3, eps=0.02, delta=0.01)
+        assert estimate == pytest.approx(toy_truth.pair(0, 3), abs=0.02)
+
+    def test_block_splitting_consistent(self, toy, toy_truth):
+        """Sample counts above the block size must still be unbiased."""
+        mc = MonteCarlo(toy, c=TOY_DECAY, seed=4)
+        estimate = mc.single_pair(0, 3, 70_000)  # > one 65536 block
+        assert estimate == pytest.approx(toy_truth.pair(0, 3), abs=0.01)
+
+    def test_validation(self, toy):
+        mc = MonteCarlo(toy, c=TOY_DECAY, seed=1)
+        with pytest.raises(QueryError):
+            mc.single_pair(0, 99, 10)
+        with pytest.raises(ConfigurationError):
+            mc.single_pair(0, 1, 0)
+
+
+class TestSingleSource:
+    def test_matches_ground_truth_on_toy(self, toy, toy_truth):
+        mc = MonteCarlo(toy, c=TOY_DECAY, seed=11)
+        result = mc.single_source(0, num_walks=30_000)
+        truth = toy_truth.single_source(0)
+        for v in range(1, 8):
+            assert result.scores[v] == pytest.approx(truth[v], abs=0.012)
+
+    def test_matches_ground_truth_on_tiny_wiki(self, tiny_wiki, tiny_wiki_truth):
+        mc = MonteCarlo(tiny_wiki, c=0.6, seed=12)
+        result = mc.single_source(10, num_walks=1200)
+        truth = tiny_wiki_truth.single_source(10)
+        errors = np.abs(result.scores - truth)
+        errors[10] = 0.0
+        assert errors.max() < 0.06
+
+    def test_result_shape(self, toy):
+        result = MonteCarlo(toy, c=TOY_DECAY, seed=1).single_source(2, num_walks=50)
+        assert result.method == "mc"
+        assert result.num_walks == 50
+        assert result.score(2) == 1.0
+        assert result.scores.min() >= 0.0
+        assert result.scores.max() <= 1.0
+
+    def test_deterministic_given_seed(self, toy):
+        a = MonteCarlo(toy, c=TOY_DECAY, seed=9).single_source(0, num_walks=200)
+        b = MonteCarlo(toy, c=TOY_DECAY, seed=9).single_source(0, num_walks=200)
+        np.testing.assert_array_equal(a.scores, b.scores)
+
+    def test_validation(self, toy):
+        mc = MonteCarlo(toy, c=TOY_DECAY, seed=1)
+        with pytest.raises(QueryError):
+            mc.single_source(99, num_walks=10)
+        with pytest.raises(ConfigurationError):
+            mc.single_source(0, num_walks=-5)
+
+    def test_repr(self, toy):
+        assert "MonteCarlo" in repr(MonteCarlo(toy, seed=1))

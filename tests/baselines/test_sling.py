@@ -1,0 +1,131 @@
+"""Tests for the SLING index (last-meeting decomposition)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sling import SLINGIndex
+from repro.datasets import TOY_DECAY
+from repro.errors import ConfigurationError, QueryError
+from repro.eval.metrics import abs_error_max
+from repro.graph import DiGraph
+
+
+class TestExactMode:
+    def test_machine_precision_on_toy(self, toy, toy_truth):
+        """With theta = 0 and exact d, the last-meeting decomposition equals
+        SimRank to numerical precision — the identity the index rests on."""
+        index = SLINGIndex(toy, c=TOY_DECAY, theta=0.0, depth=100, d_mode="exact")
+        for query in range(toy.num_nodes):
+            result = index.single_source(query)
+            truth = toy_truth.single_source(query)
+            assert abs_error_max(result.scores, truth, query) < 1e-9
+
+    def test_exact_on_tiny_wiki(self, tiny_wiki, tiny_wiki_truth):
+        index = SLINGIndex(tiny_wiki, c=0.6, theta=0.0, depth=60, d_mode="exact")
+        for query in (10, 50):
+            result = index.single_source(query)
+            err = abs_error_max(result.scores, tiny_wiki_truth.single_source(query), query)
+            assert err < 1e-6
+
+    def test_d_values_are_probabilities(self, toy):
+        index = SLINGIndex(toy, c=TOY_DECAY, theta=0.0, depth=100, d_mode="exact")
+        assert np.all(index.d > 0.0)
+        assert np.all(index.d <= 1.0 + 1e-9)
+
+    def test_d_is_one_for_unreachable_nodes(self):
+        # a node whose in-neighbourhood is a single chain: two walks from it
+        # always move together... build instead a node with no in-edges
+        # reachable: walks from a source with in-degree 0 stop immediately,
+        # so they never meet again: d = 1.
+        g = DiGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        index = SLINGIndex(g, c=0.6, theta=0.0, depth=60, d_mode="exact")
+        assert index.d[0] == pytest.approx(1.0)
+
+
+class TestMonteCarloMode:
+    def test_d_estimates_close_to_exact(self, toy):
+        exact = SLINGIndex(toy, c=TOY_DECAY, theta=0.0, depth=80, d_mode="exact")
+        mc = SLINGIndex(
+            toy, c=TOY_DECAY, theta=0.0, depth=80, d_mode="monte_carlo",
+            d_samples=20_000, seed=3,
+        )
+        np.testing.assert_allclose(mc.d, exact.d, atol=0.015)
+
+    def test_queries_accurate_with_mc_d(self, toy, toy_truth):
+        index = SLINGIndex(
+            toy, c=TOY_DECAY, theta=1e-5, d_mode="monte_carlo",
+            d_samples=20_000, seed=4,
+        )
+        result = index.single_source(0)
+        assert abs_error_max(result.scores, toy_truth.single_source(0), 0) < 0.02
+
+    def test_deterministic_given_seed(self, toy):
+        a = SLINGIndex(toy, c=TOY_DECAY, d_mode="monte_carlo", d_samples=500, seed=5)
+        b = SLINGIndex(toy, c=TOY_DECAY, d_mode="monte_carlo", d_samples=500, seed=5)
+        np.testing.assert_array_equal(a.d, b.d)
+
+
+class TestSparsification:
+    def test_theta_trades_size_for_error(self, tiny_wiki, tiny_wiki_truth):
+        tight = SLINGIndex(tiny_wiki, c=0.6, theta=1e-6, d_mode="exact")
+        loose = SLINGIndex(tiny_wiki, c=0.6, theta=1e-2, d_mode="exact")
+        assert loose.index_nnz() < tight.index_nnz()
+        assert loose.index_bytes() < tight.index_bytes()
+        err_tight = abs_error_max(
+            tight.single_source(10).scores, tiny_wiki_truth.single_source(10), 10
+        )
+        err_loose = abs_error_max(
+            loose.single_source(10).scores, tiny_wiki_truth.single_source(10), 10
+        )
+        assert err_tight <= err_loose + 1e-9
+        assert err_tight < 0.01
+
+    def test_depth_derived_from_theta(self, toy):
+        shallow = SLINGIndex(toy, c=0.6, theta=0.05, d_mode="exact")
+        deep = SLINGIndex(toy, c=0.6, theta=1e-6, d_mode="exact")
+        assert deep.depth > shallow.depth
+
+
+class TestInterface:
+    def test_result_shape(self, toy):
+        index = SLINGIndex(toy, c=TOY_DECAY, d_mode="exact")
+        result = index.single_source(2)
+        assert result.method == "sling"
+        assert result.score(2) == 1.0
+        assert result.scores.min() >= 0.0
+
+    def test_topk_matches_truth_on_toy(self, toy, toy_truth):
+        index = SLINGIndex(toy, c=TOY_DECAY, theta=0.0, depth=80, d_mode="exact")
+        assert index.topk(0, 1).nodes[0] == int(toy_truth.topk_nodes(0, 1)[0])
+
+    def test_build_time_recorded(self, toy):
+        assert SLINGIndex(toy, c=0.6, d_mode="exact").build_time > 0.0
+
+    def test_rebuild_tracks_graph(self, toy, toy_truth):
+        graph = toy.copy()
+        index = SLINGIndex(graph, c=TOY_DECAY, theta=0.0, depth=80, d_mode="exact")
+        graph.remove_edge(4, 1)
+        index.rebuild()
+        from repro.eval.ground_truth import compute_ground_truth
+
+        truth = compute_ground_truth(graph, c=TOY_DECAY, iterations=80)
+        result = index.single_source(0)
+        assert abs_error_max(result.scores, truth.single_source(0), 0) < 1e-9
+
+    def test_validation(self, toy):
+        with pytest.raises(ConfigurationError):
+            SLINGIndex(toy, theta=1.5)
+        with pytest.raises(ConfigurationError):
+            SLINGIndex(toy, d_mode="guess")
+        with pytest.raises(ConfigurationError):
+            SLINGIndex(toy, d_samples=0)
+        with pytest.raises(QueryError):
+            SLINGIndex(toy, d_mode="exact").single_source(99)
+
+    def test_exact_mode_size_cap(self):
+        big = DiGraph.from_edges([(0, 1)], num_nodes=6000)
+        with pytest.raises(ConfigurationError):
+            SLINGIndex(big, d_mode="exact")
+
+    def test_repr(self, toy):
+        assert "SLINGIndex" in repr(SLINGIndex(toy, d_mode="exact"))

@@ -1,0 +1,145 @@
+"""Tests for the TopSim family.
+
+TopSim-SM's estimate must equal truncated SimRank: by its construction from
+the √c-walk decomposition, s_T(u, v) approaches s(u, v) as T grows, and the
+truncation error is bounded by the tail mass sum_{i > T} (sqrt c)^i.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.topsim import TopSim
+from repro.datasets import TOY_DECAY
+from repro.errors import ConfigurationError, QueryError
+from repro.eval.metrics import abs_error_max
+
+
+class TestFullVariant:
+    def test_converges_to_ground_truth_with_depth(self, toy, toy_truth):
+        errors = []
+        for depth in (1, 2, 4, 8):
+            result = TopSim(toy, c=TOY_DECAY, depth=depth).single_source(0)
+            errors.append(abs_error_max(result.scores, toy_truth.single_source(0), 0))
+        assert errors == sorted(errors, reverse=True)  # monotone improvement
+        assert errors[-1] < 1e-3
+
+    def test_depth8_nearly_exact_on_toy(self, toy, toy_truth):
+        for query in range(4):
+            result = TopSim(toy, c=TOY_DECAY, depth=8).single_source(query)
+            err = abs_error_max(result.scores, toy_truth.single_source(query), query)
+            assert err < 2e-3
+
+    def test_truncation_tail_bound(self, toy, toy_truth):
+        """Error at depth T is at most the walk tail mass sum_{i>T}(sqrt c)^i."""
+        sqrt_c = np.sqrt(TOY_DECAY)
+        for depth in (2, 3):
+            result = TopSim(toy, c=TOY_DECAY, depth=depth).single_source(0)
+            err = abs_error_max(result.scores, toy_truth.single_source(0), 0)
+            tail = sqrt_c ** (depth + 1) / (1 - sqrt_c)
+            assert err <= tail + 1e-12
+
+    def test_underestimates_truth(self, toy, toy_truth):
+        """Dropping the tail makes s_T a one-sided underestimate."""
+        result = TopSim(toy, c=TOY_DECAY, depth=3).single_source(0)
+        truth = toy_truth.single_source(0)
+        assert np.all(result.scores <= truth + 1e-9)
+
+    def test_deterministic(self, tiny_wiki):
+        a = TopSim(tiny_wiki, depth=3).single_source(10)
+        b = TopSim(tiny_wiki, depth=3).single_source(10)
+        np.testing.assert_array_equal(a.scores, b.scores)
+
+    def test_tiny_wiki_accuracy(self, tiny_wiki, tiny_wiki_truth):
+        result = TopSim(tiny_wiki, c=0.6, depth=3).single_source(10)
+        err = abs_error_max(result.scores, tiny_wiki_truth.single_source(10), 10)
+        assert err < 0.6**3 / (1 - np.sqrt(0.6)) + 1e-9
+
+
+class TestHeuristicVariants:
+    def test_truncated_never_more_accurate_estimates(self, tiny_wiki):
+        """Trun- prunes probability mass, so its scores are dominated by
+        TopSim-SM's scores (both underestimate; Trun- drops more)."""
+        full = TopSim(tiny_wiki, depth=3).single_source(10)
+        trun = TopSim(
+            tiny_wiki, depth=3, variant="truncated", degree_threshold=10, eta=0.01
+        ).single_source(10)
+        assert np.all(trun.scores <= full.scores + 1e-12)
+
+    def test_prioritized_subset_of_full(self, tiny_wiki):
+        full = TopSim(tiny_wiki, depth=3).single_source(10)
+        prio = TopSim(
+            tiny_wiki, depth=3, variant="prioritized", priority_width=5
+        ).single_source(10)
+        assert np.all(prio.scores <= full.scores + 1e-12)
+
+    def test_wide_priority_equals_full(self, toy):
+        """With H larger than any level, Prio- degenerates to TopSim-SM."""
+        full = TopSim(toy, c=TOY_DECAY, depth=3).single_source(0)
+        prio = TopSim(
+            toy, c=TOY_DECAY, depth=3, variant="prioritized", priority_width=10**6
+        ).single_source(0)
+        np.testing.assert_allclose(prio.scores, full.scores, atol=1e-12)
+
+    def test_lenient_truncation_equals_full(self, toy):
+        full = TopSim(toy, c=TOY_DECAY, depth=3).single_source(0)
+        trun = TopSim(
+            toy, c=TOY_DECAY, depth=3, variant="truncated",
+            degree_threshold=10**6, eta=0.0,
+        ).single_source(0)
+        np.testing.assert_allclose(trun.scores, full.scores, atol=1e-12)
+
+    def test_method_names(self, toy):
+        assert TopSim(toy).method_name == "topsim-sm"
+        assert TopSim(toy, variant="truncated").method_name == "trun-topsim-sm"
+        assert TopSim(toy, variant="prioritized").method_name == "prio-topsim-sm"
+
+
+class TestPrefixEnumeration:
+    def test_prefix_probabilities_sum_bounded(self, toy):
+        """Probabilities of depth-i prefixes sum to at most (sqrt c)^i."""
+        topsim = TopSim(toy, c=TOY_DECAY, depth=4)
+        by_depth: dict[int, float] = {}
+        for prefix, prob in topsim.enumerate_prefixes(0):
+            by_depth.setdefault(len(prefix) - 1, 0.0)
+            by_depth[len(prefix) - 1] += prob
+        sqrt_c = np.sqrt(TOY_DECAY)
+        for depth, mass in by_depth.items():
+            assert mass <= sqrt_c**depth + 1e-12
+
+    def test_prefixes_follow_in_edges(self, toy):
+        topsim = TopSim(toy, c=TOY_DECAY, depth=3)
+        for prefix, _ in topsim.enumerate_prefixes(0):
+            for current, nxt in zip(prefix, prefix[1:]):
+                assert nxt in toy.in_neighbors(current)
+
+    def test_source_node_yields_no_prefixes(self):
+        from repro.graph import DiGraph
+
+        g = DiGraph.from_edges([(0, 1)])  # node 0 has no in-edges
+        assert TopSim(g, depth=3).enumerate_prefixes(0) == []
+
+
+class TestValidation:
+    def test_unknown_variant(self, toy):
+        with pytest.raises(ConfigurationError):
+            TopSim(toy, variant="magic")
+
+    def test_invalid_eta(self, toy):
+        with pytest.raises(ConfigurationError):
+            TopSim(toy, eta=1.5)
+
+    def test_invalid_depth(self, toy):
+        with pytest.raises(ConfigurationError):
+            TopSim(toy, depth=0)
+
+    def test_query_out_of_range(self, toy):
+        with pytest.raises(QueryError):
+            TopSim(toy).single_source(99)
+
+    def test_topk_shape(self, toy):
+        top = TopSim(toy, c=TOY_DECAY, depth=4).topk(0, 3)
+        assert top.k == 3
+        assert top.nodes[0] == 3  # d is a's most similar node (Table 2)
+
+    def test_repr(self, toy):
+        assert "TopSim" in repr(TopSim(toy))

@@ -1,0 +1,165 @@
+"""Tests for the TSF one-way-graph index."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tsf import TSFIndex
+from repro.datasets import TOY_DECAY
+from repro.errors import QueryError
+from repro.graph import DiGraph, EdgeUpdate
+
+
+class TestBuild:
+    def test_one_way_graphs_sample_in_neighbors(self, toy):
+        index = TSFIndex(toy, rg=20, rq=2, seed=1)
+        for g in index._one_way:
+            for node in range(toy.num_nodes):
+                parent = int(g[node])
+                if toy.in_degree(node) == 0:
+                    assert parent == -1
+                else:
+                    assert parent in toy.in_neighbors(node)
+
+    def test_reverse_adjacency_consistent(self, toy):
+        index = TSFIndex(toy, rg=5, rq=1, seed=2)
+        for i in range(index.rg):
+            indptr, indices = index._reverse_adjacency(i)
+            g = index._one_way[i]
+            for parent in range(toy.num_nodes):
+                children = set(indices[indptr[parent] : indptr[parent + 1]].tolist())
+                expected = {v for v in range(toy.num_nodes) if g[v] == parent}
+                assert children == expected
+
+    def test_build_time_recorded(self, toy):
+        index = TSFIndex(toy, rg=5, rq=1, seed=3)
+        assert index.build_time >= 0.0
+
+    def test_deterministic_given_seed(self, toy):
+        a = TSFIndex(toy, rg=5, rq=1, seed=4)
+        b = TSFIndex(toy, rg=5, rq=1, seed=4)
+        for ga, gb in zip(a._one_way, b._one_way):
+            np.testing.assert_array_equal(ga, gb)
+
+
+class TestQuery:
+    def test_estimates_correlate_with_truth(self, toy, toy_truth):
+        index = TSFIndex(toy, c=TOY_DECAY, rg=200, rq=10, seed=5)
+        result = index.single_source(0)
+        truth = toy_truth.single_source(0)
+        # TSF has no guarantee, but its ranking should broadly agree: d is
+        # the clear top-1 for query a.
+        assert result.topk(1).nodes[0] == 3
+
+    def test_overestimation_bias(self, toy, toy_truth):
+        """TSF sums meetings over all steps (not first meetings), so on
+        average it over-estimates; with many samples the mean estimate for
+        high-similarity pairs should not undershoot materially."""
+        index = TSFIndex(toy, c=TOY_DECAY, rg=400, rq=10, seed=6)
+        result = index.single_source(0)
+        truth = toy_truth.single_source(0)
+        strong = [v for v in range(1, 8) if truth[v] > 0.05]
+        assert np.mean([result.scores[v] - truth[v] for v in strong]) > -0.01
+
+    def test_result_shape(self, toy):
+        index = TSFIndex(toy, rg=10, rq=2, seed=7)
+        result = index.single_source(1)
+        assert result.method == "tsf"
+        assert result.score(1) == 1.0
+        assert result.num_walks == 20
+
+    def test_query_out_of_range(self, toy):
+        with pytest.raises(QueryError):
+            TSFIndex(toy, rg=2, rq=1, seed=1).single_source(50)
+
+    def test_topk(self, toy):
+        top = TSFIndex(toy, c=TOY_DECAY, rg=100, rq=5, seed=8).topk(0, 3)
+        assert top.k == 3
+
+
+class TestDynamicMaintenance:
+    def test_insert_keeps_one_way_valid(self, toy):
+        graph = toy.copy()
+        index = TSFIndex(graph, rg=30, rq=2, seed=9)
+        update = EdgeUpdate("insert", 5, 1)  # new in-neighbour f for b
+        graph.add_edge(5, 1)
+        index.apply_update(update)
+        for g in index._one_way:
+            assert int(g[1]) in graph.in_neighbors(1)
+
+    def test_insert_adopts_new_edge_with_reservoir_rate(self, toy):
+        """With in-degree d after insert, each one-way graph adopts the new
+        parent with probability 1/d."""
+        adopted = 0
+        trials = 400
+        graph = toy.copy()
+        graph.add_edge(5, 1)  # b now has in-degree 3
+        index = TSFIndex(graph, rg=trials, rq=1, seed=10)
+        # rebuild from scratch samples uniformly: ~1/3 adoption
+        for g in index._one_way:
+            if int(g[1]) == 5:
+                adopted += 1
+        assert 0.25 * trials < adopted < 0.42 * trials
+
+    def test_delete_resamples_stale_pointers(self, toy):
+        graph = toy.copy()
+        index = TSFIndex(graph, rg=50, rq=2, seed=11)
+        # delete e -> b (node 4 -> 1)
+        graph.remove_edge(4, 1)
+        index.apply_update(EdgeUpdate("delete", 4, 1))
+        for g in index._one_way:
+            assert int(g[1]) != 4
+            assert int(g[1]) in graph.in_neighbors(1)
+
+    def test_delete_last_in_edge_clears_pointer(self):
+        graph = DiGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        index = TSFIndex(graph, rg=10, rq=1, seed=12)
+        graph.remove_edge(0, 1)
+        index.apply_update(EdgeUpdate("delete", 0, 1))
+        for g in index._one_way:
+            assert int(g[1]) == -1
+
+    def test_update_invalidates_reverse_adjacency(self, toy):
+        graph = toy.copy()
+        index = TSFIndex(graph, rg=5, rq=1, seed=13)
+        index.materialize_reverse()
+        graph.remove_edge(4, 1)
+        index.apply_update(EdgeUpdate("delete", 4, 1))
+        # any one-way graph that pointed b at e must have been invalidated
+        # and must rebuild consistently on next access
+        for i in range(index.rg):
+            indptr, indices = index._reverse_adjacency(i)
+            g = index._one_way[i]
+            children_of_e = set(indices[indptr[4] : indptr[5]].tolist())
+            assert children_of_e == {v for v in range(8) if g[v] == 4}
+
+    def test_rebuild_resnapshots_graph(self, toy):
+        graph = toy.copy()
+        index = TSFIndex(graph, rg=10, rq=1, seed=14)
+        graph.add_edge(7, 1)  # h -> b
+        index.rebuild()
+        # after a rebuild every sampled parent must be a *current* in-neighbour
+        for g in index._one_way:
+            assert int(g[1]) in graph.in_neighbors(1)
+
+
+class TestSpaceAccounting:
+    def test_index_bytes_scales_with_rg(self, toy):
+        small = TSFIndex(toy, rg=5, rq=1, seed=15)
+        large = TSFIndex(toy, rg=50, rq=1, seed=15)
+        assert large.index_bytes() > 8 * small.index_bytes()
+
+    def test_index_larger_than_graph_at_paper_params(self, tiny_wiki, tiny_wiki_csr):
+        """Table 4's shape: TSF's index dwarfs the graph itself."""
+        index = TSFIndex(tiny_wiki, rg=300, rq=2, seed=16)
+        index.materialize_reverse()
+        assert index.index_bytes() > 10 * tiny_wiki_csr.payload_bytes()
+
+    def test_reverse_adds_bytes(self, toy):
+        index = TSFIndex(toy, rg=5, rq=1, seed=17)
+        before = index.index_bytes(include_reverse=True)
+        index.materialize_reverse()
+        assert index.index_bytes(include_reverse=True) > before
+        assert index.index_bytes(include_reverse=False) < index.index_bytes()
+
+    def test_repr(self, toy):
+        assert "TSFIndex" in repr(TSFIndex(toy, rg=2, rq=1, seed=18))

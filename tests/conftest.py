@@ -1,0 +1,69 @@
+"""Shared fixtures: the paper's toy graph, tiny stand-in datasets, and their
+exact ground truths (session-scoped — the Power Method runs once per graph)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import TOY_DECAY, load_dataset, toy_graph
+from repro.eval.ground_truth import GroundTruth, compute_ground_truth
+from repro.graph import CSRGraph, DiGraph
+
+
+@pytest.fixture(scope="session")
+def toy() -> DiGraph:
+    return toy_graph()
+
+
+@pytest.fixture(scope="session")
+def toy_csr(toy) -> CSRGraph:
+    return CSRGraph.from_digraph(toy)
+
+
+@pytest.fixture(scope="session")
+def toy_truth(toy) -> GroundTruth:
+    """Exact SimRank on the toy graph at the paper's example decay c=0.25."""
+    return compute_ground_truth(toy, c=TOY_DECAY, iterations=80)
+
+
+@pytest.fixture(scope="session")
+def toy_truth_c06(toy) -> GroundTruth:
+    """Exact SimRank on the toy graph at the experiments' decay c=0.6."""
+    return compute_ground_truth(toy, c=0.6, iterations=80)
+
+
+@pytest.fixture(scope="session")
+def tiny_wiki() -> DiGraph:
+    """200-node locally-dense stand-in (deterministic)."""
+    return load_dataset("wiki-vote", scale="tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_wiki_csr(tiny_wiki) -> CSRGraph:
+    return CSRGraph.from_digraph(tiny_wiki)
+
+
+@pytest.fixture(scope="session")
+def tiny_wiki_truth(tiny_wiki) -> GroundTruth:
+    return compute_ground_truth(tiny_wiki, c=0.6, iterations=40)
+
+
+@pytest.fixture(scope="session")
+def tiny_web() -> DiGraph:
+    """600-node locally-sparse web stand-in (deterministic)."""
+    return load_dataset("it-2004", scale="tiny")
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def diamond() -> DiGraph:
+    """A tiny hand-analysable graph: 3 -> {1, 2} -> 0 plus 0 <-> 1 cycle.
+
+    in-neighbours: I(0) = {1, 2}, I(1) = {0, 3}, I(2) = {3}, I(3) = {}.
+    """
+    return DiGraph.from_edges([(1, 0), (2, 0), (0, 1), (3, 1), (3, 2)])

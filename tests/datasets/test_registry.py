@@ -1,0 +1,81 @@
+"""Tests for the stand-in dataset registry."""
+
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    large_dataset_names,
+    load_dataset,
+    small_dataset_names,
+)
+from repro.errors import DatasetError
+from repro.graph import compute_stats
+
+
+class TestRegistryShape:
+    def test_all_eight_datasets_present(self):
+        assert set(small_dataset_names()) | set(large_dataset_names()) == set(DATASETS)
+        assert len(DATASETS) == 8
+
+    def test_paper_order(self):
+        assert small_dataset_names() == ["wiki-vote", "hepth", "as", "hepph"]
+        assert large_dataset_names() == ["livejournal", "it-2004", "twitter", "friendster"]
+
+    def test_kinds_consistent(self):
+        for name in small_dataset_names():
+            assert DATASETS[name].kind == "small"
+        for name in large_dataset_names():
+            assert DATASETS[name].kind == "large"
+
+    def test_every_dataset_has_all_scales(self):
+        for spec in DATASETS.values():
+            assert {"tiny", "small", "paper"} <= set(spec.sizes)
+            assert spec.sizes["tiny"] < spec.sizes["small"] < spec.sizes["paper"]
+
+
+class TestLoading:
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load_dataset("orkut")
+
+    def test_unknown_scale(self):
+        with pytest.raises(DatasetError):
+            load_dataset("wiki-vote", scale="galactic")
+
+    def test_deterministic(self):
+        assert load_dataset("as", "tiny") == load_dataset("as", "tiny")
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_tiny_scale_builds(self, name):
+        g = load_dataset(name, scale="tiny")
+        assert g.num_nodes == DATASETS[name].sizes["tiny"]
+        assert g.num_edges > 0
+
+
+class TestProfiles:
+    def test_wiki_vote_zero_in_degree_fraction(self):
+        stats = compute_stats(load_dataset("wiki-vote", scale="tiny"))
+        assert stats.zero_in_degree_fraction > 0.5  # the paper's >60% profile
+
+    def test_hepth_is_undirected(self):
+        stats = compute_stats(load_dataset("hepth", scale="tiny"))
+        assert stats.reciprocity == 1.0
+
+    def test_hepph_denser_than_as(self):
+        as_stats = compute_stats(load_dataset("as", scale="tiny"))
+        hepph_stats = compute_stats(load_dataset("hepph", scale="tiny"))
+        assert hepph_stats.mean_in_degree > 2 * as_stats.mean_in_degree
+
+    def test_web_graph_bounded_out_degree(self):
+        g = load_dataset("it-2004", scale="tiny")
+        assert max(g.out_degree(v) for v in g.nodes()) <= 6
+
+    def test_twitter_denser_than_it2004(self):
+        twitter = compute_stats(load_dataset("twitter", scale="tiny"))
+        web = compute_stats(load_dataset("it-2004", scale="tiny"))
+        assert twitter.mean_in_degree > web.mean_in_degree
+
+    def test_power_law_in_degrees_on_social_graphs(self):
+        for name in ("livejournal", "friendster"):
+            stats = compute_stats(load_dataset(name, scale="tiny"))
+            assert stats.in_degree_gini > 0.35, name

@@ -1,0 +1,92 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.charts import GLYPHS, Series, scatter_chart, tradeoff_chart
+
+
+def _single_point_chart(**kwargs):
+    series = Series("m", [(1.0, 1.0)])
+    return scatter_chart([series], **kwargs)
+
+
+class TestScatterChart:
+    def test_renders_points_and_legend(self):
+        a = Series("alpha", [(0.1, 0.5), (1.0, 0.2)])
+        b = Series("beta", [(0.5, 0.9)])
+        chart = scatter_chart([a, b], width=40, height=10)
+        assert "o=alpha" in chart
+        assert "*=beta" in chart
+        assert chart.count("o") >= 2  # both alpha points placed
+        assert "*" in chart
+
+    def test_title_and_labels(self):
+        chart = _single_point_chart(title="demo", x_label="time", y_label="err")
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert "err" in lines[1]
+        assert "time" in chart
+
+    def test_log_axes_snap_to_decades(self):
+        series = Series("m", [(0.001, 0.01), (1.0, 0.5)])
+        chart = scatter_chart([series], log_x=True, log_y=True)
+        assert "0.001 .. 1" in chart
+        assert "(log)" in chart
+
+    def test_log_axis_clamps_zero_points(self):
+        series = Series("m", [(0.0, 0.1), (1.0, 0.2)])
+        chart = scatter_chart([series], log_x=True)
+        assert "legend" in chart  # renders without error
+
+    def test_log_axis_rejects_all_nonpositive(self):
+        series = Series("m", [(0.0, 1.0)])
+        with pytest.raises(EvaluationError):
+            scatter_chart([series], log_x=True)
+
+    def test_degenerate_range_renders(self):
+        series = Series("m", [(2.0, 3.0), (2.0, 3.0)])
+        chart = scatter_chart([series])
+        assert "legend" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            scatter_chart([])
+        with pytest.raises(EvaluationError):
+            scatter_chart([Series("m")])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(EvaluationError):
+            _single_point_chart(width=5, height=2)
+
+    def test_grid_dimensions(self):
+        chart = _single_point_chart(width=30, height=8)
+        rows = [ln for ln in chart.splitlines() if ln.startswith("|")]
+        assert len(rows) == 8
+        assert all(len(ln) <= 31 for ln in rows)
+
+    def test_many_series_cycle_glyphs(self):
+        series = [Series(f"s{i}", [(i + 1.0, 1.0)]) for i in range(10)]
+        chart = scatter_chart(series)
+        assert f"{GLYPHS[0]}=s0" in chart
+        assert f"{GLYPHS[1]}=s9" in chart  # 10th series wraps to glyph 1
+
+
+class TestTradeoffChart:
+    def test_builds_series_from_rows(self):
+        rows = [
+            {"method": "probesim", "query_time_s": 0.1, "abs_error": 0.01},
+            {"method": "probesim", "query_time_s": 0.2, "abs_error": 0.005},
+            {"method": "tsf", "query_time_s": 0.05, "abs_error": 0.05},
+        ]
+        chart = tradeoff_chart(
+            rows, "query_time_s", "abs_error",
+            log_x=True, log_y=True, title="fig4",
+        )
+        assert "o=probesim" in chart
+        assert "*=tsf" in chart
+        assert chart.splitlines()[0] == "fig4"
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            tradeoff_chart([{"method": "m", "x": 1.0}], "x", "y")

@@ -1,0 +1,55 @@
+"""Tests for the exact ground-truth wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import TOY_DECAY
+from repro.errors import EvaluationError
+from repro.eval.ground_truth import GroundTruth, compute_ground_truth
+
+
+class TestGroundTruth:
+    def test_single_source_row(self, toy_truth):
+        row = toy_truth.single_source(0)
+        assert row[0] == 1.0
+        assert row[3] == pytest.approx(0.131, abs=5e-4)
+
+    def test_pair_symmetry(self, toy_truth):
+        for u in range(8):
+            for v in range(8):
+                assert toy_truth.pair(u, v) == pytest.approx(
+                    toy_truth.pair(v, u), abs=1e-12
+                )
+
+    def test_topk_nodes_sorted_by_truth(self, toy_truth):
+        nodes = toy_truth.topk_nodes(0, 3)
+        scores = [toy_truth.pair(0, int(v)) for v in nodes]
+        assert scores == sorted(scores, reverse=True)
+        assert nodes[0] == 3  # d, per Table 2
+
+    def test_topk_excludes_query(self, toy_truth):
+        assert 0 not in toy_truth.topk_nodes(0, 7).tolist()
+
+    def test_kth_score(self, toy_truth):
+        assert toy_truth.kth_score(0, 1) == pytest.approx(0.131, abs=5e-4)
+
+    def test_k_too_large(self, toy_truth):
+        with pytest.raises(EvaluationError):
+            toy_truth.topk_nodes(0, 8)
+
+    def test_node_out_of_range(self, toy_truth):
+        with pytest.raises(EvaluationError):
+            toy_truth.single_source(99)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(EvaluationError):
+            GroundTruth(np.zeros((2, 3)), c=0.6)
+
+    def test_compute_uses_power_method(self, toy, toy_truth):
+        other = compute_ground_truth(toy, c=TOY_DECAY, iterations=80)
+        np.testing.assert_allclose(
+            other.single_source(0), toy_truth.single_source(0), atol=1e-12
+        )
+
+    def test_num_nodes(self, toy_truth):
+        assert toy_truth.num_nodes == 8

@@ -1,0 +1,140 @@
+"""Tests for the §6.1 metrics against hand-computed cases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import (
+    abs_error_max,
+    abs_error_mean,
+    kendall_tau,
+    ndcg_at_k,
+    precision_at_k,
+)
+
+
+class TestAbsError:
+    def test_max_excludes_query(self):
+        estimates = np.array([0.0, 0.5, 0.2])
+        truth = np.array([1.0, 0.4, 0.25])
+        assert abs_error_max(estimates, truth, query=0) == pytest.approx(0.1)
+
+    def test_mean_excludes_query(self):
+        estimates = np.array([0.0, 0.5, 0.2])
+        truth = np.array([1.0, 0.4, 0.3])
+        assert abs_error_mean(estimates, truth, query=0) == pytest.approx(0.1)
+
+    def test_exact_estimates_zero_error(self):
+        truth = np.array([1.0, 0.3, 0.2])
+        assert abs_error_max(truth, truth, 0) == 0.0
+        assert abs_error_mean(truth, truth, 0) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EvaluationError):
+            abs_error_max(np.zeros(3), np.zeros(4), 0)
+        with pytest.raises(EvaluationError):
+            abs_error_mean(np.zeros(3), np.zeros(4), 0)
+
+    def test_single_node(self):
+        assert abs_error_mean(np.array([1.0]), np.array([1.0]), 0) == 0.0
+
+
+class TestPrecision:
+    def test_perfect(self):
+        truth = np.array([1.0, 0.9, 0.8, 0.1, 0.0])
+        assert precision_at_k([1, 2], truth, k=2, query=0) == 1.0
+
+    def test_partial(self):
+        truth = np.array([1.0, 0.9, 0.8, 0.1, 0.0])
+        assert precision_at_k([1, 3], truth, k=2, query=0) == 0.5
+
+    def test_tie_tolerance(self):
+        # nodes 2 and 3 tie at the k-th score: either counts as correct
+        truth = np.array([1.0, 0.9, 0.5, 0.5, 0.0])
+        assert precision_at_k([1, 2], truth, k=2, query=0) == 1.0
+        assert precision_at_k([1, 3], truth, k=2, query=0) == 1.0
+
+    def test_query_in_list_not_counted(self):
+        truth = np.array([1.0, 0.9, 0.8])
+        assert precision_at_k([0, 1], truth, k=2, query=0) == 0.5
+
+    def test_empty_returned(self):
+        truth = np.array([1.0, 0.5, 0.2])
+        assert precision_at_k([], truth, k=2, query=0) == 0.0
+
+    def test_k_too_large(self):
+        with pytest.raises(EvaluationError):
+            precision_at_k([1], np.array([1.0, 0.5]), k=5, query=0)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(EvaluationError):
+            precision_at_k([1, 1], np.array([1.0, 0.5, 0.2]), k=2, query=0)
+
+
+class TestNdcg:
+    def test_ideal_ordering_is_one(self):
+        truth = np.array([1.0, 0.9, 0.5, 0.2, 0.0])
+        assert ndcg_at_k([1, 2, 3], truth, k=3, query=0) == pytest.approx(1.0)
+
+    def test_hand_computed(self):
+        truth = np.array([1.0, 0.8, 0.4])
+        # returned [2, 1]: DCG = (2^0.4-1)/log2(2) + (2^0.8-1)/log2(3)
+        dcg = (2**0.4 - 1) / 1.0 + (2**0.8 - 1) / np.log2(3)
+        z = (2**0.8 - 1) / 1.0 + (2**0.4 - 1) / np.log2(3)
+        assert ndcg_at_k([2, 1], truth, k=2, query=0) == pytest.approx(dcg / z)
+
+    def test_worse_ordering_scores_lower(self):
+        truth = np.array([1.0, 0.9, 0.5, 0.2, 0.1])
+        good = ndcg_at_k([1, 2, 3], truth, k=3, query=0)
+        bad = ndcg_at_k([4, 3, 2], truth, k=3, query=0)
+        assert bad < good
+
+    def test_all_zero_truth_gives_one(self):
+        truth = np.zeros(4)
+        assert ndcg_at_k([1, 2], truth, k=2, query=0) == 1.0
+
+    def test_query_in_list_rejected(self):
+        with pytest.raises(EvaluationError):
+            ndcg_at_k([0, 1], np.array([1.0, 0.5, 0.2]), k=2, query=0)
+
+    def test_bounds(self, rng):
+        truth = rng.random(20)
+        truth[0] = 1.0
+        returned = rng.permutation(np.arange(1, 20))[:5]
+        value = ndcg_at_k(returned, truth, k=5, query=0)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+
+class TestKendallTau:
+    def test_perfect_order(self):
+        truth = np.array([1.0, 0.9, 0.5, 0.2])
+        assert kendall_tau([1, 2, 3], truth) == 1.0
+
+    def test_reversed_order(self):
+        truth = np.array([1.0, 0.9, 0.5, 0.2])
+        assert kendall_tau([3, 2, 1], truth) == -1.0
+
+    def test_single_swap(self):
+        truth = np.array([1.0, 0.9, 0.5, 0.2])
+        # [2, 1, 3]: pairs (2,1) discordant, (2,3) and (1,3) concordant
+        assert kendall_tau([2, 1, 3], truth) == pytest.approx((2 - 1) / 3)
+
+    def test_ties_are_neutral(self):
+        truth = np.array([1.0, 0.5, 0.5, 0.2])
+        # pair (1, 2) is tied -> 0; pairs with 3 concordant -> (2 - 0) / 3
+        assert kendall_tau([1, 2, 3], truth) == pytest.approx(2 / 3)
+
+    def test_short_lists(self):
+        truth = np.array([1.0, 0.5])
+        assert kendall_tau([1], truth) == 1.0
+        assert kendall_tau([], truth) == 1.0
+
+    def test_query_check(self):
+        with pytest.raises(EvaluationError):
+            kendall_tau([0, 1], np.array([1.0, 0.5]), query=0)
+
+    def test_range(self, rng):
+        truth = rng.random(30)
+        for _ in range(10):
+            returned = rng.permutation(30)[:8]
+            assert -1.0 <= kendall_tau(returned, truth) <= 1.0

@@ -1,0 +1,121 @@
+"""Tests for the pooling protocol (§6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import TopKResult
+from repro.errors import EvaluationError
+from repro.eval.pooling import exact_expert, monte_carlo_expert, pool_evaluate
+
+
+def _topk(nodes, scores, query=0, method="m"):
+    return TopKResult(
+        query=query,
+        nodes=np.array(nodes, dtype=np.int64),
+        scores=np.array(scores, dtype=np.float64),
+        method=method,
+    )
+
+
+def _const_expert(mapping):
+    def expert(query, nodes):
+        return np.array([mapping.get(n, 0.0) for n in nodes], dtype=np.float64)
+
+    return expert
+
+
+class TestPoolEvaluate:
+    def test_perfect_method_scores_one(self):
+        results = {
+            "good": _topk([1, 2], [0.9, 0.8]),
+            "bad": _topk([3, 4], [0.9, 0.8]),
+        }
+        expert = _const_expert({1: 0.9, 2: 0.8, 3: 0.1, 4: 0.05})
+        ev = pool_evaluate(results, expert, k=2)
+        assert ev.precision["good"] == 1.0
+        assert ev.precision["bad"] == 0.0
+        assert ev.ndcg["good"] == pytest.approx(1.0)
+        assert ev.truth_nodes == (1, 2)
+
+    def test_pool_is_union_of_lists(self):
+        results = {
+            "a": _topk([1, 2], [0.5, 0.4]),
+            "b": _topk([2, 3], [0.5, 0.4]),
+        }
+        ev = pool_evaluate(results, _const_expert({1: 0.3, 2: 0.2, 3: 0.1}), k=2)
+        assert set(ev.pool) == {1, 2, 3}
+
+    def test_tau_reflects_ordering(self):
+        expert = _const_expert({1: 0.9, 2: 0.5, 3: 0.1})
+        results = {
+            "sorted": _topk([1, 2, 3], [0.9, 0.5, 0.1]),
+            "reversed": _topk([3, 2, 1], [0.9, 0.5, 0.1]),
+        }
+        ev = pool_evaluate(results, expert, k=3)
+        assert ev.tau["sorted"] == 1.0
+        assert ev.tau["reversed"] == -1.0
+
+    def test_default_k_is_min(self):
+        results = {
+            "a": _topk([1, 2, 3], [0.5, 0.4, 0.3]),
+            "b": _topk([2, 3], [0.5, 0.4]),
+        }
+        ev = pool_evaluate(results, _const_expert({1: 0.3, 2: 0.2, 3: 0.1}))
+        assert ev.k == 2
+
+    def test_mismatched_queries_rejected(self):
+        results = {
+            "a": _topk([1], [0.5], query=0),
+            "b": _topk([2], [0.5], query=1),
+        }
+        with pytest.raises(EvaluationError):
+            pool_evaluate(results, _const_expert({}))
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(EvaluationError):
+            pool_evaluate({}, _const_expert({}))
+
+    def test_bad_expert_shape_rejected(self):
+        results = {"a": _topk([1, 2], [0.5, 0.4])}
+
+        def broken(query, nodes):
+            return np.zeros(1)
+
+        with pytest.raises(EvaluationError):
+            pool_evaluate(results, broken, k=2)
+
+
+class TestExperts:
+    def test_exact_expert_reads_ground_truth(self, toy_truth):
+        expert = exact_expert(toy_truth)
+        scores = expert(0, [3, 4])
+        assert scores[0] == pytest.approx(toy_truth.pair(0, 3))
+        assert scores[1] == pytest.approx(toy_truth.pair(0, 4))
+
+    def test_monte_carlo_expert_close_to_truth(self, toy, toy_truth):
+        from repro.datasets import TOY_DECAY
+
+        expert = monte_carlo_expert(toy, c=TOY_DECAY, eps=0.02, delta=0.05, seed=3)
+        scores = expert(0, [3, 4])
+        assert scores[0] == pytest.approx(toy_truth.pair(0, 3), abs=0.02)
+        assert scores[1] == pytest.approx(toy_truth.pair(0, 4), abs=0.02)
+
+
+class TestEndToEndPooling:
+    def test_pooling_ranks_probesim_above_tsf_on_toy(self, toy, toy_truth):
+        """The Figure 8-10 pipeline in miniature: ProbeSim at a tight budget
+        must dominate a deliberately under-sampled TSF."""
+        from repro import ProbeSim, TSFIndex
+        from repro.datasets import TOY_DECAY
+
+        query = 0
+        k = 3
+        probesim = ProbeSim(toy, c=TOY_DECAY, eps_a=0.02, delta=0.01, seed=1)
+        tsf = TSFIndex(toy, c=TOY_DECAY, rg=5, rq=1, seed=2)
+        results = {
+            "probesim": probesim.topk(query, k),
+            "tsf": tsf.topk(query, k),
+        }
+        ev = pool_evaluate(results, exact_expert(toy_truth), k=k)
+        assert ev.precision["probesim"] >= ev.precision["tsf"]
+        assert ev.ndcg["probesim"] >= 0.95

@@ -1,0 +1,45 @@
+"""Tests for query-node sampling."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.queries import sample_query_nodes
+from repro.graph import DiGraph
+
+
+class TestSampleQueryNodes:
+    def test_nonzero_in_degree_default(self, tiny_wiki):
+        nodes = sample_query_nodes(tiny_wiki, 30, seed=1)
+        assert len(nodes) == 30
+        for node in nodes:
+            assert tiny_wiki.in_degree(node) > 0
+
+    def test_distinct(self, tiny_wiki):
+        nodes = sample_query_nodes(tiny_wiki, 50, seed=2)
+        assert len(set(nodes)) == len(nodes)
+
+    def test_deterministic(self, tiny_wiki):
+        assert sample_query_nodes(tiny_wiki, 10, seed=3) == sample_query_nodes(
+            tiny_wiki, 10, seed=3
+        )
+
+    def test_clamps_to_eligible_count(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2)])  # only nodes 1, 2 eligible
+        nodes = sample_query_nodes(g, 10, seed=4)
+        assert sorted(nodes) == [1, 2]
+
+    def test_allow_zero_in_degree(self):
+        g = DiGraph.from_edges([(0, 1)])
+        nodes = sample_query_nodes(
+            g, 2, seed=5, require_nonzero_in_degree=False
+        )
+        assert sorted(nodes) == [0, 1]
+
+    def test_no_eligible_nodes(self):
+        g = DiGraph(3)  # no edges at all
+        with pytest.raises(EvaluationError):
+            sample_query_nodes(g, 1, seed=6)
+
+    def test_invalid_count(self, tiny_wiki):
+        with pytest.raises(EvaluationError):
+            sample_query_nodes(tiny_wiki, 0, seed=7)

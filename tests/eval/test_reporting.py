@@ -1,0 +1,49 @@
+"""Tests for ASCII table rendering."""
+
+from repro.eval.reporting import format_table
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table([{"a": 1, "b": 2.5}], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert lines[1].startswith("a")
+        assert "2.500" in text
+
+    def test_columns_inferred_in_order(self):
+        rows = [{"x": 1}, {"y": 2, "x": 3}]
+        text = format_table(rows)
+        header = text.splitlines()[0]
+        assert header.index("x") < header.index("y")
+
+    def test_explicit_columns(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_values_blank(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert text  # renders without KeyError
+
+    def test_float_formats(self):
+        text = format_table(
+            [{"big": 12345.6, "mid": 3.14159, "small": 0.000123, "zero": 0.0}]
+        )
+        assert "12,345.6" in text
+        assert "3.142" in text
+        assert "0.000123" in text
+
+    def test_bool_render(self):
+        text = format_table([{"flag": True}, {"flag": False}])
+        assert "yes" in text and "no" in text
+
+    def test_empty_rows(self):
+        text = format_table([], columns=["a", "b"])
+        assert "a" in text.splitlines()[0]
+
+    def test_alignment(self):
+        text = format_table([{"name": "x", "v": 1}, {"name": "longer", "v": 22}])
+        lines = text.splitlines()
+        assert len(lines[1]) >= len("name | v") - 1
+        # separator row matches header width structure
+        assert set(lines[1]) <= {"-", "+"}

@@ -1,0 +1,113 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro import PowerMethod, ProbeSim
+from repro.datasets import TOY_DECAY
+from repro.errors import EvaluationError
+from repro.eval.runner import MethodSpec, run_single_source, run_topk
+
+
+class TestMethodSpec:
+    def test_build_checks_interface(self):
+        spec = MethodSpec("broken", lambda: object())
+        with pytest.raises(EvaluationError):
+            spec.build()
+
+    def test_build_constructs_fresh(self, toy):
+        spec = MethodSpec("ps", lambda: ProbeSim(toy, c=TOY_DECAY, eps_a=0.2, seed=1))
+        assert spec.build() is not spec.build()
+
+
+class TestRunSingleSource:
+    def test_exact_method_has_zero_error(self, toy, toy_truth):
+        outcomes = run_single_source(
+            [MethodSpec("power", lambda: PowerMethod(toy, c=TOY_DECAY))],
+            queries=[0, 1, 2],
+            ground_truth=toy_truth,
+        )
+        assert outcomes[0].mean_abs_error < 1e-9
+        assert len(outcomes[0].abs_errors) == 3
+
+    def test_probesim_within_budget(self, toy, toy_truth):
+        outcomes = run_single_source(
+            [
+                MethodSpec(
+                    "probesim",
+                    lambda: ProbeSim(toy, c=TOY_DECAY, eps_a=0.05, delta=0.01, seed=5),
+                )
+            ],
+            queries=[0, 1],
+            ground_truth=toy_truth,
+        )
+        assert outcomes[0].mean_abs_error <= 0.05
+
+    def test_row_shape(self, toy, toy_truth):
+        outcomes = run_single_source(
+            [MethodSpec("power", lambda: PowerMethod(toy, c=TOY_DECAY))],
+            queries=[0],
+            ground_truth=toy_truth,
+        )
+        row = outcomes[0].as_row()
+        assert row["method"] == "power"
+        assert row["queries"] == 1
+        assert "abs_error" in row and "query_time_s" in row
+
+    def test_empty_queries_rejected(self, toy, toy_truth):
+        with pytest.raises(EvaluationError):
+            run_single_source([], queries=[], ground_truth=toy_truth)
+
+
+class TestRunTopK:
+    def test_exact_method_perfect_metrics(self, toy, toy_truth):
+        outcomes = run_topk(
+            [MethodSpec("power", lambda: PowerMethod(toy, c=TOY_DECAY))],
+            queries=[0, 1],
+            ground_truth=toy_truth,
+            k=3,
+        )
+        assert outcomes[0].mean_precision == 1.0
+        assert outcomes[0].mean_ndcg == pytest.approx(1.0)
+        # tau treats tied true scores as neutral pairs, so even the exact
+        # method cannot exceed 1 - ties/total (query 1's top-3 contains a
+        # tied pair, costing 1/3); it must still be close to perfect.
+        assert outcomes[0].mean_tau >= 0.8
+
+    def test_methods_compared_on_same_queries(self, toy, toy_truth):
+        outcomes = run_topk(
+            [
+                MethodSpec("power", lambda: PowerMethod(toy, c=TOY_DECAY)),
+                MethodSpec(
+                    "probesim",
+                    lambda: ProbeSim(toy, c=TOY_DECAY, eps_a=0.05, delta=0.01, seed=9),
+                ),
+            ],
+            queries=[0, 2, 4],
+            ground_truth=toy_truth,
+            k=3,
+        )
+        assert {o.method for o in outcomes} == {"power", "probesim"}
+        assert all(len(o.precisions) == 3 for o in outcomes)
+        # ProbeSim at eps 0.05 should be near-perfect on the toy graph
+        probesim = next(o for o in outcomes if o.method == "probesim")
+        assert probesim.mean_precision >= 0.6
+        assert probesim.mean_ndcg >= 0.9
+
+    def test_invalid_k(self, toy, toy_truth):
+        with pytest.raises(EvaluationError):
+            run_topk(
+                [MethodSpec("power", lambda: PowerMethod(toy, c=TOY_DECAY))],
+                queries=[0],
+                ground_truth=toy_truth,
+                k=0,
+            )
+
+    def test_row_shape(self, toy, toy_truth):
+        outcomes = run_topk(
+            [MethodSpec("power", lambda: PowerMethod(toy, c=TOY_DECAY))],
+            queries=[0],
+            ground_truth=toy_truth,
+            k=2,
+        )
+        row = outcomes[0].as_row()
+        assert {"method", "precision", "ndcg", "tau", "query_time_s"} <= set(row)

@@ -1,0 +1,119 @@
+"""Tests for the walk-cache lightweight index (§7 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import TOY_DECAY
+from repro.errors import QueryError
+from repro.eval.metrics import abs_error_max
+from repro.extensions.walk_index import WalkIndex
+from repro.graph import EdgeUpdate
+
+
+class TestCaching:
+    def test_accuracy_matches_engine_guarantee(self, toy, toy_truth):
+        index = WalkIndex(toy, c=TOY_DECAY, eps_a=0.05, delta=0.01, seed=2)
+        for query in range(4):
+            result = index.single_source(query)
+            err = abs_error_max(result.scores, toy_truth.single_source(query), query)
+            assert err <= 0.05
+
+    def test_repeated_query_hits_cache(self, toy):
+        index = WalkIndex(toy, c=TOY_DECAY, eps_a=0.1, seed=3)
+        index.single_source(0)
+        assert index.hit_rate == 0.0
+        index.single_source(0)
+        assert index.hit_rate == 0.5
+        assert index.num_cached == 1
+
+    def test_cached_query_is_deterministic(self, toy):
+        index = WalkIndex(toy, c=TOY_DECAY, eps_a=0.1, seed=4)
+        first = index.single_source(0)
+        second = index.single_source(0)
+        np.testing.assert_array_equal(first.scores, second.scores)
+
+    def test_cached_query_skips_sampling(self, tiny_wiki):
+        index = WalkIndex(tiny_wiki, eps_a=0.15, delta=0.1, seed=5)
+        index.single_source(10)
+        rng_state_before = index.engine._rng.bit_generator.state
+        index.single_source(10)  # cache hit: no walk sampling -> RNG untouched
+        assert index.engine._rng.bit_generator.state == rng_state_before
+        assert index._hits == 1
+
+    def test_warm_prepopulates(self, toy):
+        index = WalkIndex(toy, c=TOY_DECAY, eps_a=0.1, seed=6)
+        index.warm([0, 1, 2])
+        assert index.num_cached == 3
+        index.single_source(1)
+        assert index.hit_rate > 0.0
+
+    def test_topk(self, toy, toy_truth):
+        index = WalkIndex(toy, c=TOY_DECAY, eps_a=0.02, delta=0.01, seed=7)
+        top = index.topk(0, 3)
+        assert top.nodes[0] == 3  # d per Table 2
+        with pytest.raises(QueryError):
+            index.topk(0, 0)
+
+    def test_method_label(self, toy):
+        result = WalkIndex(toy, c=TOY_DECAY, eps_a=0.1, seed=8).single_source(0)
+        assert result.method == "probesim-walkindex"
+
+
+class TestInvalidation:
+    def test_update_evicts_touched_trees(self, toy):
+        graph = toy.copy()
+        index = WalkIndex(graph, c=TOY_DECAY, eps_a=0.1, seed=9)
+        index.single_source(0)  # walks from a pass through b (its in-edge)
+        assert index.num_cached == 1
+        # a's walks visit node b with overwhelming probability; an update
+        # targeting b must evict the cached tree for query 0
+        graph.add_edge(5, 1)
+        index.apply_update(EdgeUpdate("insert", 5, 1))
+        assert index.num_cached == 0
+
+    def test_update_keeps_untouched_trees(self):
+        from repro.graph import DiGraph
+
+        # two disconnected 2-cycles: updates in one cannot touch the other
+        g = DiGraph.from_edges([(0, 1), (1, 0), (2, 3), (3, 2)])
+        g.add_node()  # node 4, isolated source for the new edge
+        index = WalkIndex(g, c=0.6, eps_a=0.2, seed=10)
+        index.single_source(0)
+        g.add_edge(4, 2)
+        index.apply_update(EdgeUpdate("insert", 4, 2))
+        assert index.num_cached == 1  # query-0 walks never visit node 2
+
+    def test_post_update_queries_are_correct(self, toy):
+        from repro.eval.ground_truth import compute_ground_truth
+
+        graph = toy.copy()
+        index = WalkIndex(graph, c=TOY_DECAY, eps_a=0.05, delta=0.01, seed=11)
+        index.single_source(0)
+        graph.remove_edge(4, 1)  # e -> b
+        index.apply_update(EdgeUpdate("delete", 4, 1))
+        truth = compute_ground_truth(graph, c=TOY_DECAY, iterations=80)
+        result = index.single_source(0)
+        assert abs_error_max(result.scores, truth.single_source(0), 0) <= 0.05
+
+    def test_invalidate_all(self, toy):
+        index = WalkIndex(toy, c=TOY_DECAY, eps_a=0.1, seed=12)
+        index.warm([0, 1])
+        index.invalidate_all()
+        assert index.num_cached == 0
+
+    def test_index_bytes_grows_with_cache(self, toy):
+        index = WalkIndex(toy, c=TOY_DECAY, eps_a=0.1, seed=13)
+        empty = index.index_bytes()
+        index.warm([0, 1, 2, 3])
+        assert index.index_bytes() > empty
+
+    def test_payload_bytes_counts_tree_nodes(self, toy):
+        index = WalkIndex(toy, c=TOY_DECAY, eps_a=0.1, seed=13)
+        assert index.payload_bytes() == 0
+        index.warm([0])
+        tree_nodes = index._trees[0].num_tree_nodes() + 1
+        assert index.payload_bytes() >= 16 * tree_nodes
+        assert index.payload_bytes() < index.index_bytes()  # no object headers
+
+    def test_repr(self, toy):
+        assert "WalkIndex" in repr(WalkIndex(toy, c=TOY_DECAY, eps_a=0.1, seed=14))

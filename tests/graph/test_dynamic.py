@@ -1,0 +1,86 @@
+"""Unit tests for edge update streams (the dynamic-graph workload)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import DiGraph, EdgeUpdate, apply_update, generate_update_stream
+from repro.graph.dynamic import UpdateStream, apply_stream
+
+
+class TestEdgeUpdate:
+    def test_valid_kinds(self):
+        EdgeUpdate("insert", 0, 1)
+        EdgeUpdate("delete", 1, 0)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(GraphError):
+            EdgeUpdate("upsert", 0, 1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            EdgeUpdate("insert", 2, 2)
+
+
+class TestGenerateStream:
+    def test_stream_is_applicable_in_order(self, tiny_wiki):
+        stream = generate_update_stream(tiny_wiki, 200, seed=1)
+        g = tiny_wiki.copy()
+        apply_stream(g, stream)  # raises if any op is invalid when applied
+
+    def test_source_graph_untouched(self, tiny_wiki):
+        before = tiny_wiki.copy()
+        generate_update_stream(tiny_wiki, 100, seed=2)
+        assert tiny_wiki == before
+
+    def test_respects_insert_fraction(self, tiny_wiki):
+        all_inserts = generate_update_stream(tiny_wiki, 100, insert_fraction=1.0, seed=3)
+        assert all_inserts.num_inserts == 100
+        assert all_inserts.num_deletes == 0
+
+    def test_all_deletes(self, tiny_wiki):
+        all_deletes = generate_update_stream(tiny_wiki, 50, insert_fraction=0.0, seed=4)
+        assert all_deletes.num_deletes == 50
+
+    def test_deterministic(self, tiny_wiki):
+        a = generate_update_stream(tiny_wiki, 50, seed=5)
+        b = generate_update_stream(tiny_wiki, 50, seed=5)
+        assert list(a) == list(b)
+
+    def test_requires_two_nodes(self):
+        with pytest.raises(GraphError):
+            generate_update_stream(DiGraph(1), 5, seed=1)
+
+    def test_stream_container_protocol(self, tiny_wiki):
+        stream = generate_update_stream(tiny_wiki, 10, seed=6)
+        assert len(stream) == 10
+        assert isinstance(stream[0], EdgeUpdate)
+        assert stream.num_inserts + stream.num_deletes == 10
+        assert "UpdateStream" in repr(stream)
+
+
+class TestApply:
+    def test_apply_insert(self):
+        g = DiGraph(3)
+        apply_update(g, EdgeUpdate("insert", 0, 2))
+        assert g.has_edge(0, 2)
+
+    def test_apply_delete(self):
+        g = DiGraph.from_edges([(0, 1)])
+        apply_update(g, EdgeUpdate("delete", 0, 1))
+        assert not g.has_edge(0, 1)
+
+    def test_apply_stream_returns_graph(self):
+        g = DiGraph(3)
+        stream = UpdateStream([EdgeUpdate("insert", 0, 1), EdgeUpdate("insert", 1, 2)])
+        assert apply_stream(g, stream) is g
+        assert g.num_edges == 2
+
+    def test_edge_churn_preserves_simple_graph(self, tiny_wiki):
+        g = tiny_wiki.copy()
+        stream = generate_update_stream(g, 300, insert_fraction=0.5, seed=7)
+        apply_stream(g, stream)
+        seen = set()
+        for edge in g.edges():
+            assert edge not in seen
+            seen.add(edge)
+            assert edge[0] != edge[1]

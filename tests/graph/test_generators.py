@@ -1,0 +1,148 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    chung_lu_graph,
+    erdos_renyi_graph,
+    locally_dense_graph,
+    preferential_attachment_graph,
+    web_graph,
+)
+from repro.graph.generators import undirected_as_digraph
+from repro.graph.stats import compute_stats
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi_graph(50, 200, seed=1)
+        assert g.num_nodes == 50
+        assert g.num_edges == 200
+
+    def test_no_self_loops_or_duplicates(self):
+        g = erdos_renyi_graph(30, 120, seed=2)
+        seen = set()
+        for s, t in g.edges():
+            assert s != t
+            assert (s, t) not in seen
+            seen.add((s, t))
+
+    def test_deterministic_for_seed(self):
+        a = erdos_renyi_graph(40, 100, seed=7)
+        b = erdos_renyi_graph(40, 100, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi_graph(40, 100, seed=7)
+        b = erdos_renyi_graph(40, 100, seed=8)
+        assert a != b
+
+    def test_capacity_clamp(self):
+        g = erdos_renyi_graph(3, 100, seed=1, allow_fewer=True)
+        assert g.num_edges == 6  # 3 * 2
+
+    def test_capacity_strict_raises(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(3, 100, seed=1, allow_fewer=False)
+
+    def test_zero_edges(self):
+        assert erdos_renyi_graph(5, 0, seed=1).num_edges == 0
+
+
+class TestPreferentialAttachment:
+    def test_shape(self):
+        g = preferential_attachment_graph(200, 4, seed=3)
+        assert g.num_nodes == 200
+        # every node past the seed core emits up to 4 edges
+        assert g.num_edges <= 4 * 200
+        assert g.num_edges >= 4 * (200 - 4) * 0.9
+
+    def test_heavy_tail(self):
+        g = preferential_attachment_graph(500, 5, seed=4)
+        stats = compute_stats(g)
+        # preferential attachment concentrates in-degree: the max in-degree
+        # must far exceed the mean, and the Gini must show real skew.
+        assert stats.max_in_degree > 5 * stats.mean_in_degree
+        assert stats.in_degree_gini > 0.4
+
+    def test_out_degree_must_be_smaller_than_n(self):
+        with pytest.raises(GraphError):
+            preferential_attachment_graph(3, 3, seed=1)
+
+    def test_deterministic(self):
+        assert preferential_attachment_graph(100, 3, seed=9) == preferential_attachment_graph(
+            100, 3, seed=9
+        )
+
+
+class TestChungLu:
+    def test_degree_targeting(self):
+        rng = np.random.default_rng(0)
+        n = 300
+        w = rng.pareto(2.0, size=n) + 1.0
+        g = chung_lu_graph(w, w, seed=5)
+        stats = compute_stats(g)
+        # expected edge count is sum(w_in); allow broad Poisson slack
+        assert 0.4 * w.sum() < g.num_edges < 2.0 * w.sum()
+        assert stats.in_degree_gini > 0.2
+
+    def test_zero_weights_give_empty_graph(self):
+        g = chung_lu_graph(np.zeros(5), np.zeros(5), seed=1)
+        assert g.num_edges == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            chung_lu_graph(np.ones(3), np.ones(4), seed=1)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(GraphError):
+            chung_lu_graph(np.array([-1.0, 1.0]), np.ones(2), seed=1)
+
+
+class TestLocallyDense:
+    def test_periphery_has_zero_in_degree(self):
+        g = locally_dense_graph(300, core_fraction=0.3, seed=6)
+        stats = compute_stats(g)
+        # the defining Wiki-Vote property: a large zero-in-degree fraction
+        assert stats.zero_in_degree_fraction > 0.5
+
+    def test_core_is_dense(self):
+        g = locally_dense_graph(300, core_fraction=0.3, core_out_degree=10, seed=6)
+        core_size = int(300 * 0.3)
+        core_edges = sum(1 for s, t in g.edges() if s < core_size and t < core_size)
+        assert core_edges / core_size > 8  # dense: >8 internal edges per core node
+
+    def test_all_nodes_present(self):
+        g = locally_dense_graph(150, seed=7)
+        assert g.num_nodes == 150
+
+    def test_deterministic(self):
+        assert locally_dense_graph(100, seed=1) == locally_dense_graph(100, seed=1)
+
+
+class TestWebGraph:
+    def test_bounded_out_degree(self):
+        g = web_graph(400, out_degree=5, seed=8)
+        assert max(g.out_degree(v) for v in g.nodes()) <= 5
+
+    def test_heavy_tailed_in_degree(self):
+        g = web_graph(600, out_degree=6, copy_probability=0.7, seed=9)
+        stats = compute_stats(g)
+        assert stats.max_in_degree > 4 * stats.mean_in_degree
+
+    def test_deterministic(self):
+        assert web_graph(200, seed=2) == web_graph(200, seed=2)
+
+
+class TestUndirectedAsDigraph:
+    def test_fully_reciprocal(self):
+        g = undirected_as_digraph(120, attachment=3, seed=10)
+        stats = compute_stats(g)
+        assert stats.reciprocity == 1.0
+        assert stats.is_undirected
+
+    def test_even_edge_count(self):
+        g = undirected_as_digraph(120, attachment=3, seed=10)
+        assert g.num_edges % 2 == 0

@@ -1,0 +1,70 @@
+"""Unit tests for graph statistics (Table 3 support)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DiGraph, compute_stats
+from repro.graph.stats import _gini
+
+
+class TestComputeStats:
+    def test_toy_counts(self, toy):
+        stats = compute_stats(toy)
+        assert stats.num_nodes == 8
+        assert stats.num_edges == 20
+        assert stats.mean_in_degree == pytest.approx(20 / 8)
+
+    def test_zero_in_degree_fraction(self):
+        g = DiGraph.from_edges([(0, 1), (2, 1), (3, 1)])
+        stats = compute_stats(g)
+        # nodes 0, 2, 3 have zero in-degree
+        assert stats.zero_in_degree_fraction == pytest.approx(3 / 4)
+
+    def test_reciprocity_full(self):
+        g = DiGraph.from_edges([(0, 1), (1, 0), (1, 2), (2, 1)])
+        stats = compute_stats(g)
+        assert stats.reciprocity == 1.0
+        assert stats.is_undirected
+
+    def test_reciprocity_partial(self):
+        g = DiGraph.from_edges([(0, 1), (1, 0), (1, 2)])
+        stats = compute_stats(g)
+        assert stats.reciprocity == pytest.approx(2 / 3)
+        assert not stats.is_undirected
+
+    def test_empty_graph(self):
+        stats = compute_stats(DiGraph(3))
+        assert stats.num_edges == 0
+        assert stats.reciprocity == 0.0
+        assert not stats.is_undirected
+
+    def test_as_row_keys(self, toy):
+        row = compute_stats(toy).as_row()
+        assert {"type", "n", "m", "avg_in_deg", "gini"} <= set(row)
+        assert row["type"] == "directed"
+        assert row["n"] == 8
+
+    def test_max_degrees(self, toy):
+        stats = compute_stats(toy)
+        assert stats.max_in_degree == 4  # node f (c, d, e, h)
+        assert stats.max_out_degree == 4  # nodes b, c, e each emit 4 edges
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert _gini(np.array([3, 3, 3, 3])) == pytest.approx(0.0)
+
+    def test_concentrated_is_high(self):
+        values = np.zeros(100)
+        values[0] = 100.0
+        assert _gini(values) > 0.95
+
+    def test_empty_and_zero(self):
+        assert _gini(np.array([])) == 0.0
+        assert _gini(np.zeros(5)) == 0.0
+
+    def test_bounds(self, rng):
+        for _ in range(10):
+            sample = rng.pareto(1.5, size=50)
+            g = _gini(sample)
+            assert 0.0 <= g <= 1.0

@@ -1,0 +1,109 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph, DiGraph
+
+
+@st.composite
+def edge_lists(draw, max_nodes=12, max_edges=40):
+    """A random simple directed graph as (num_nodes, edge list)."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    pairs = st.tuples(
+        st.integers(min_value=0, max_value=n - 1),
+        st.integers(min_value=0, max_value=n - 1),
+    ).filter(lambda e: e[0] != e[1])
+    edges = draw(st.lists(pairs, max_size=max_edges, unique=True))
+    return n, edges
+
+
+class TestDiGraphModel:
+    """DiGraph against a trivial set-of-edges model."""
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_construction_matches_model(self, data):
+        n, edges = data
+        g = DiGraph.from_edges(edges, num_nodes=n)
+        model = set(edges)
+        assert g.num_edges == len(model)
+        assert set(g.edges()) == model
+        for node in range(n):
+            assert set(g.out_neighbors(node)) == {t for s, t in model if s == node}
+            assert set(g.in_neighbors(node)) == {s for s, t in model if t == node}
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sums_equal_edge_count(self, data):
+        n, edges = data
+        g = DiGraph.from_edges(edges, num_nodes=n)
+        assert sum(g.in_degree(v) for v in range(n)) == g.num_edges
+        assert sum(g.out_degree(v) for v in range(n)) == g.num_edges
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_remove_all_edges_empties_graph(self, data):
+        n, edges = data
+        g = DiGraph.from_edges(edges, num_nodes=n)
+        for s, t in edges:
+            g.remove_edge(s, t)
+        assert g.num_edges == 0
+        assert all(g.in_degree(v) == 0 for v in range(n))
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_reverse_involution(self, data):
+        n, edges = data
+        g = DiGraph.from_edges(edges, num_nodes=n)
+        assert g.reversed().reversed() == g
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_copy_equal_but_independent(self, data):
+        n, edges = data
+        g = DiGraph.from_edges(edges, num_nodes=n)
+        clone = g.copy()
+        assert clone == g
+        if edges:
+            s, t = edges[0]
+            clone.remove_edge(s, t)
+            assert clone != g
+
+
+class TestCsrRoundTrip:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_digraph_csr_digraph_identity(self, data):
+        n, edges = data
+        g = DiGraph.from_edges(edges, num_nodes=n)
+        assert CSRGraph.from_digraph(g).to_digraph() == g
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_csr_operators_consistent(self, data):
+        n, edges = data
+        csr = CSRGraph.from_edges(edges, num_nodes=n)
+        P = csr.transition.toarray()
+        # columns of in-degree > 0 sum to 1; others to 0
+        for v in range(n):
+            expected = 1.0 if csr.in_degree(v) > 0 else 0.0
+            assert abs(P[:, v].sum() - expected) < 1e-12
+        np.testing.assert_allclose(
+            csr.backward_operator.toarray(), csr.forward_operator.toarray().T
+        )
+
+    @given(edge_lists(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_sampling_stays_in_neighbourhood(self, data, seed):
+        n, edges = data
+        csr = CSRGraph.from_edges(edges, num_nodes=n)
+        rng = np.random.default_rng(seed)
+        nodes = np.arange(n, dtype=np.int64)
+        sampled = csr.sample_in_neighbors(nodes, rng)
+        for node, neighbor in zip(nodes.tolist(), sampled.tolist()):
+            if csr.in_degree(node) == 0:
+                assert neighbor == -1
+            else:
+                assert neighbor in csr.in_neighbors(node).tolist()

@@ -1,0 +1,105 @@
+"""Property-based tests for the evaluation metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    abs_error_max,
+    abs_error_mean,
+    kendall_tau,
+    ndcg_at_k,
+    precision_at_k,
+)
+
+
+@st.composite
+def truth_and_ranking(draw):
+    """True score vector (query = 0) plus a returned ranking of size k."""
+    n = draw(st.integers(min_value=4, max_value=30))
+    scores = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    truth = np.array(scores)
+    truth[0] = 1.0
+    k = draw(st.integers(min_value=1, max_value=n - 1))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    returned = rng.permutation(np.arange(1, n))[:k]
+    return truth, returned, k
+
+
+class TestMetricProperties:
+    @given(truth_and_ranking())
+    @settings(max_examples=150, deadline=None)
+    def test_precision_in_unit_interval(self, data):
+        truth, returned, k = data
+        p = precision_at_k(returned, truth, k, query=0)
+        assert 0.0 <= p <= 1.0
+
+    @given(truth_and_ranking())
+    @settings(max_examples=150, deadline=None)
+    def test_ndcg_in_unit_interval(self, data):
+        truth, returned, k = data
+        v = ndcg_at_k(returned, truth, k, query=0)
+        assert 0.0 <= v <= 1.0 + 1e-9
+
+    @given(truth_and_ranking())
+    @settings(max_examples=150, deadline=None)
+    def test_tau_in_range(self, data):
+        truth, returned, _ = data
+        tau = kendall_tau(returned, truth, query=0)
+        assert -1.0 <= tau <= 1.0
+
+    @given(truth_and_ranking())
+    @settings(max_examples=100, deadline=None)
+    def test_ideal_ranking_maximal(self, data):
+        """The exact top-k ordering achieves precision 1, NDCG 1, and at
+        least any other ranking's tau."""
+        truth, returned, k = data
+        masked = truth.copy()
+        masked[0] = -np.inf
+        ideal = np.argsort(-masked, kind="stable")[:k]
+        assert precision_at_k(ideal, truth, k, query=0) == 1.0
+        assert ndcg_at_k(ideal, truth, k, query=0) >= ndcg_at_k(
+            returned, truth, k, query=0
+        ) - 1e-9
+        # tau maximality holds only when the ideal list is tie-free: a tied
+        # pair is neutral (contributes 0), so an ideal list containing ties
+        # can score below a strictly-ordered list over different nodes
+        # (hypothesis found truth=[1,1,0,1]: ideal [1,3] tau=0 < [1,2] tau=1).
+        ideal_scores = truth[ideal]
+        if len(set(ideal_scores.tolist())) == len(ideal_scores):
+            assert kendall_tau(ideal, truth, query=0) >= kendall_tau(
+                returned, truth, query=0
+            ) - 1e-9
+
+    @given(truth_and_ranking())
+    @settings(max_examples=100, deadline=None)
+    def test_tau_antisymmetric_under_reversal(self, data):
+        truth, returned, _ = data
+        if len(returned) < 2:
+            return  # singleton lists are defined as tau = 1 in both directions
+        forward = kendall_tau(returned, truth, query=0)
+        backward = kendall_tau(returned[::-1].copy(), truth, query=0)
+        assert abs(forward + backward) < 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1, allow_nan=False),
+                 min_size=2, max_size=30),
+        st.lists(st.floats(min_value=0, max_value=1, allow_nan=False),
+                 min_size=2, max_size=30),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_abs_errors_consistent(self, a, b):
+        size = min(len(a), len(b))
+        est = np.array(a[:size])
+        tru = np.array(b[:size])
+        mx = abs_error_max(est, tru, query=0)
+        mean = abs_error_mean(est, tru, query=0)
+        assert 0.0 <= mean <= mx + 1e-12
+        assert mx <= 1.0 + 1e-12

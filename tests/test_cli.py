@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import toy_graph
+from repro.graph import write_edge_list
+
+
+@pytest.fixture()
+def toy_path(tmp_path):
+    path = tmp_path / "toy.txt"
+    write_edge_list(toy_graph(), path)
+    return str(path)
+
+
+class TestDatasetCommand:
+    def test_generates_edge_list(self, tmp_path, capsys):
+        out = tmp_path / "wv.txt"
+        code = main(["dataset", "--name", "wiki-vote", "--scale", "tiny",
+                     "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_unknown_name_rejected_by_argparse(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["dataset", "--name", "orkut", "--out", str(tmp_path / "x.txt")])
+
+
+class TestStatsCommand:
+    def test_prints_table(self, toy_path, capsys):
+        assert main(["stats", toy_path]) == 0
+        out = capsys.readouterr().out
+        assert "n" in out and "8" in out and "20" in out
+
+    def test_missing_file_is_clean_error(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "nope.txt")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQueryCommands:
+    def test_single_source_probesim(self, toy_path, capsys):
+        code = main([
+            "single-source", toy_path, "--query", "0", "--c", "0.25",
+            "--eps-a", "0.05", "--seed", "1", "--limit", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "probesim" in out
+        assert "3" in out  # node d (id 3) is a's top node
+
+    def test_topk_power_method_matches_table2(self, toy_path, capsys):
+        code = main([
+            "topk", toy_path, "--query", "0", "--k", "3",
+            "--method", "power", "--c", "0.25",
+        ])
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        first_data_row = lines[3]
+        assert first_data_row.split("|")[1].strip() == "3"  # node d ranked #1
+
+    @pytest.mark.parametrize(
+        "method_args",
+        [
+            ["--method", "mc", "--num-walks", "300"],
+            ["--method", "topsim"],
+            ["--method", "trun-topsim"],
+            ["--method", "prio-topsim"],
+            ["--method", "tsf", "--rg", "20", "--rq", "2"],
+            ["--method", "sling"],
+            ["--method", "probesim", "--strategy", "basic", "--num-walks", "200"],
+        ],
+    )
+    def test_every_method_runs(self, toy_path, capsys, method_args):
+        code = main(
+            ["topk", toy_path, "--query", "0", "--k", "2", "--c", "0.25",
+             "--seed", "3"] + method_args
+        )
+        assert code == 0
+        assert "top-2" in capsys.readouterr().out
+
+    def test_bad_query_node_is_clean_error(self, toy_path, capsys):
+        code = main(["topk", toy_path, "--query", "99", "--k", "2", "--seed", "1"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_module_entry_point(self, toy_path):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "stats", toy_path],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "directed" in proc.stdout

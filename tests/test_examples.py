@@ -1,0 +1,39 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples double as end-to-end acceptance tests — each one contains its
+own assertions (error budgets, recommendation quality, cache behaviour) and
+ends with a "done." line.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_complete():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "topk_recommendation.py",
+        "dynamic_stream.py",
+        "pooling_evaluation.py",
+        "walk_cache_service.py",
+    } <= names
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "done." in proc.stdout

@@ -1,0 +1,144 @@
+"""Unit tests for the utils subpackage (rng, validation, timer, sizing)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import as_generator, spawn_generator
+from repro.utils.sizing import deep_sizeof, format_bytes
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestRng:
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        assert as_generator(5).random() == as_generator(5).random()
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert as_generator(rng) is rng
+
+    def test_spawn_independent(self):
+        parent = as_generator(7)
+        child = spawn_generator(parent)
+        assert child is not parent
+        # spawning is deterministic given the parent state
+        parent2 = as_generator(7)
+        child2 = spawn_generator(parent2)
+        assert child.random() == child2.random()
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 2) == 2.0
+        for bad in (0, -1, float("nan"), float("inf"), "3", True):
+            with pytest.raises(ConfigurationError):
+                check_positive("x", bad)
+
+    def test_check_positive_int(self):
+        assert check_positive_int("x", 3) == 3
+        for bad in (0, -2, 1.5, True):
+            with pytest.raises(ConfigurationError):
+                check_positive_int("x", bad)
+
+    def test_check_probability(self):
+        assert check_probability("x", 0.5) == 0.5
+        for bad in (0.0, 1.0, 2.0, -0.1):
+            with pytest.raises(ConfigurationError):
+                check_probability("x", bad)
+
+    def test_check_fraction(self):
+        assert check_fraction("x", 0.0) == 0.0
+        assert check_fraction("x", 1.0) == 1.0
+        for bad in (-0.01, 1.01, float("nan"), "a"):
+            with pytest.raises(ConfigurationError):
+                check_fraction("x", bad)
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.02
+        assert len(t.laps) == 2
+        assert t.mean_lap == pytest.approx(t.elapsed / 2)
+
+    def test_start_stop(self):
+        t = Timer()
+        t.start()
+        lap = t.stop()
+        assert lap >= 0.0
+        assert not t.running
+
+    def test_double_start_raises(self):
+        t = Timer().start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+        assert t.laps == []
+
+    def test_mean_lap_empty(self):
+        assert Timer().mean_lap == 0.0
+
+    def test_repr(self):
+        assert "Timer" in repr(Timer())
+
+
+class TestSizing:
+    def test_numpy_counts_buffer(self):
+        arr = np.zeros(1000, dtype=np.float64)
+        assert deep_sizeof(arr) >= 8000
+
+    def test_view_does_not_double_count(self):
+        arr = np.zeros(1000)
+        view = arr[:500]
+        assert deep_sizeof(view) < 4000  # header only, no buffer
+
+    def test_containers_recursive(self):
+        flat = deep_sizeof([1, 2, 3])
+        nested = deep_sizeof([[1, 2, 3], [4, 5, 6]])
+        assert nested > flat
+
+    def test_shared_objects_counted_once(self):
+        shared = list(range(100))
+        assert deep_sizeof([shared, shared]) < 2 * deep_sizeof([shared])
+
+    def test_object_dict_followed(self):
+        class Holder:
+            def __init__(self):
+                self.payload = np.zeros(500)
+
+        assert deep_sizeof(Holder()) >= 4000
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.00 KB"
+        assert format_bytes(3 * 1024**2) == "3.00 MB"
+        assert format_bytes(5 * 1024**3) == "5.00 GB"
+
+    def test_format_bytes_negative(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
