@@ -35,13 +35,13 @@ def test_dynamic_probesim_maintenance(benchmark, workload):
         for update in stream:
             apply_update(graph, update)
             with maintenance:
-                engine.refresh()
+                engine.sync()
         return maintenance.elapsed / len(stream)
 
     per_update = benchmark.pedantic(run_stream, rounds=1, iterations=1)
     emit_table(
         "dynamic",
-        [{"method": "probesim (refresh)", "maintenance_per_update_s": per_update}],
+        [{"method": "probesim (sync)", "maintenance_per_update_s": per_update}],
         f"Dynamic updates: ProbeSim maintenance, scale={SCALE}",
     )
     result = engine.single_source(0)
@@ -61,7 +61,7 @@ def test_dynamic_tsf_incremental_vs_rebuild(benchmark, workload):
             with inc_timer:
                 incremental.apply_update(update)
             with rebuild_timer:
-                rebuild_index.rebuild()
+                rebuild_index.sync()
         return (
             inc_timer.elapsed / len(stream),
             rebuild_timer.elapsed / len(stream),
@@ -105,7 +105,7 @@ def test_dynamic_query_freshness(benchmark, workload):
         apply_update(graph, update)
     engine = make_probesim(DATASET, eps_a=0.1)
     engine._source_graph = graph
-    engine.refresh()
+    engine.sync()
     truth = compute_ground_truth(graph, c=0.6, iterations=40)
     query = 5
 

@@ -78,10 +78,10 @@ def test_sling_rebuild_dominates_on_dynamic_graphs(benchmark):
         for update in stream:
             apply_update(graph, update)
             with sling_total:
-                sling.rebuild()  # SLING's only maintenance option
+                sling.sync()  # SLING's only maintenance option
                 sling.single_source(query)
             with probesim_total:
-                probesim.refresh()
+                probesim.sync()
                 probesim.single_source(query)
         return sling_total.elapsed, probesim_total.elapsed
 
@@ -89,8 +89,8 @@ def test_sling_rebuild_dominates_on_dynamic_graphs(benchmark):
     emit_table(
         "sling",
         [
-            {"method": "sling (rebuild/update)", "total_s": sling_t},
-            {"method": "probesim (refresh/update)", "total_s": probesim_t},
+            {"method": "sling (sync/update)", "total_s": sling_t},
+            {"method": "probesim (sync/update)", "total_s": probesim_t},
             {"method": "probesim advantage", "total_s": sling_t / max(probesim_t, 1e-12)},
         ],
         f"SLING vs ProbeSim: dynamic stream ({len(stream)} updates), scale={SCALE}",

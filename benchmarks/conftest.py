@@ -24,7 +24,7 @@ from pathlib import Path
 
 import pytest
 
-from repro import MonteCarlo, ProbeSim, TSFIndex, TopSim
+from repro.api import create
 from repro.datasets import load_dataset
 from repro.eval.ground_truth import GroundTruth, compute_ground_truth
 from repro.eval.queries import sample_query_nodes
@@ -92,30 +92,42 @@ def get_queries(name: str, count: int | None = None) -> list[int]:
 # --------------------------------------------------------------------- #
 
 
-def make_probesim(name: str, eps_a: float = EPS_TOPK, **overrides) -> ProbeSim:
+#: registry names of the TopSim variants, keyed the way the paper labels them.
+TOPSIM_VARIANTS = {
+    "full": "topsim",
+    "truncated": "trun-topsim",
+    "prioritized": "prio-topsim",
+}
+
+
+def make_probesim(name: str, eps_a: float = EPS_TOPK, **overrides):
+    """ProbeSim through the method registry at the harness defaults."""
     defaults = dict(c=0.6, eps_a=eps_a, delta=0.1, seed=42, strategy="hybrid")
     defaults.update(overrides)
-    return ProbeSim(get_csr(name), **defaults)
+    return create("probesim", get_csr(name), **defaults)
 
 
-def make_topsim(name: str, variant: str = "full") -> TopSim:
-    return TopSim(
+def make_topsim(name: str, variant: str = "full"):
+    """One TopSim variant through the method registry (paper parameters)."""
+    return create(
+        TOPSIM_VARIANTS[variant],
         get_csr(name),
         c=0.6,
         depth=3,
-        variant=variant,
         degree_threshold=100,
         eta=0.001,
         priority_width=100,
     )
 
 
-def make_tsf(name: str) -> TSFIndex:
-    return TSFIndex(get_csr(name), c=0.6, rg=TSF_RG, rq=TSF_RQ, depth=8, seed=42)
+def make_tsf(name: str):
+    """TSF through the method registry at the harness scale parameters."""
+    return create("tsf", get_csr(name), c=0.6, rg=TSF_RG, rq=TSF_RQ, depth=8, seed=42)
 
 
-def make_mc(name: str) -> MonteCarlo:
-    return MonteCarlo(get_csr(name), c=0.6, seed=42)
+def make_mc(name: str):
+    """Monte Carlo through the method registry."""
+    return create("mc", get_csr(name), c=0.6, seed=42)
 
 
 #: the five methods of Figures 4-10, in the paper's legend order.

@@ -3,7 +3,7 @@
 An evolving social graph receives a stream of edge insertions/deletions with
 similarity queries interleaved.  Three maintenance regimes are compared:
 
-- **ProbeSim** (index-free): an O(m) adjacency refresh is its *entire*
+- **ProbeSim** (index-free): an O(m) adjacency sync is its *entire*
   maintenance cost, so every answer reflects the current graph;
 - **TSF incremental**: the one-way-graph index is patched per update (the
   only index in the paper's comparison that supports updates at all);
@@ -39,7 +39,7 @@ print(f"{'updates':>8} {'probesim':>10} {'tsf-live':>10} {'tsf-stale':>10}")
 for i, update in enumerate(stream):
     apply_update(graph, update)
     with maintenance["probesim"]:
-        probesim.refresh()
+        probesim.sync()
     with maintenance["tsf-incremental"]:
         tsf_live.apply_update(update)
     # tsf_stale receives nothing
@@ -59,7 +59,7 @@ for i, update in enumerate(stream):
 per_update_probesim = maintenance["probesim"].elapsed / len(stream)
 per_update_tsf = maintenance["tsf-incremental"].elapsed / len(stream)
 print(
-    f"\nmaintenance per update: probesim refresh {per_update_probesim * 1e3:.2f} ms, "
+    f"\nmaintenance per update: probesim sync {per_update_probesim * 1e3:.2f} ms, "
     f"tsf incremental {per_update_tsf * 1e3:.2f} ms"
 )
 print("probesim answers always reflect the current graph; an unmaintained "

@@ -1,0 +1,42 @@
+"""Unified estimator protocol, method registry, and batched query service.
+
+This package is the system's API layer:
+
+:class:`~repro.api.estimator.SimRankEstimator` / :class:`~repro.api.estimator.Capabilities`
+    The protocol every query method speaks — ``single_source``, ``topk``,
+    ``single_source_many`` (batched), ``sync`` (unified dynamic maintenance),
+    and ``capabilities`` (programmatic method selection).
+:mod:`~repro.api.registry`
+    Name → factory registry (``create("probesim", graph, eps_a=0.1)``)
+    behind the CLI, the experiment runner, and the benchmark harness.
+:class:`~repro.api.service.SimRankService`
+    A serving layer owning one graph plus many estimators, with batched
+    (deduplicated) queries and capability-dispatched update maintenance.
+"""
+
+from repro.api.estimator import Capabilities, SimRankEstimator, warn_deprecated_verb
+from repro.api.registry import (
+    MethodEntry,
+    available_methods,
+    capability_rows,
+    create,
+    get_entry,
+    method_names,
+    register,
+)
+from repro.api.service import ServiceStats, SimRankService
+
+__all__ = [
+    "Capabilities",
+    "MethodEntry",
+    "ServiceStats",
+    "SimRankEstimator",
+    "SimRankService",
+    "available_methods",
+    "capability_rows",
+    "create",
+    "get_entry",
+    "method_names",
+    "register",
+    "warn_deprecated_verb",
+]

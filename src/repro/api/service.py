@@ -1,0 +1,296 @@
+"""A batched, dynamic-graph SimRank query service.
+
+:class:`SimRankService` is the serving layer the ROADMAP's "heavy traffic"
+goal asks for: it owns one (mutable) graph plus any number of registered
+estimators, answers single and batched queries, and keeps every estimator
+current as the graph changes.
+
+Batching
+    :meth:`single_source_many` / :meth:`topk_many` deduplicate the batch:
+    each *distinct* query is answered once and duplicates share the answer,
+    so a hot-key request mix (the common serving shape) shares one round of
+    √c-walk sampling per hot query per batch instead of re-sampling per
+    request.  Per-estimator batches then flow through the protocol's
+    :meth:`~repro.api.estimator.SimRankEstimator.single_source_many` hot path.
+
+Updates
+    :meth:`apply_edges` applies edge insertions/deletions to the owned graph
+    and dispatches maintenance by capability: estimators advertising
+    ``incremental_updates`` are notified per update (TSF's one-way-graph
+    patching, the walk cache's fine-grained eviction), everything else gets
+    one :meth:`~repro.api.estimator.SimRankEstimator.sync` at the end of the
+    batch — or, with ``auto_sync=False``, a deferred sync the caller flushes
+    with :meth:`sync` before the next read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.api.estimator import SimRankEstimator
+from repro.api.registry import create
+from repro.errors import ConfigurationError, QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.dynamic import EdgeUpdate, apply_update
+
+__all__ = ["ServiceStats", "SimRankService"]
+
+
+@dataclass
+class ServiceStats:
+    """Operational counters of one :class:`SimRankService` instance."""
+
+    queries: int = 0
+    batches: int = 0
+    batched_queries: int = 0
+    batched_unique: int = 0
+    updates_applied: int = 0
+    syncs: int = 0
+    incremental_notifications: int = 0
+
+    @property
+    def batch_dedup_saved(self) -> int:
+        """Queries answered from a batch-mate's result instead of recomputed."""
+        return self.batched_queries - self.batched_unique
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict row for table rendering."""
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "dedup_saved": self.batch_dedup_saved,
+            "updates": self.updates_applied,
+            "syncs": self.syncs,
+        }
+
+
+class SimRankService:
+    """One graph, many estimators, batched queries, unified maintenance.
+
+    >>> from repro.graph import DiGraph
+    >>> g = DiGraph.from_edges([(0, 1), (1, 0), (2, 0), (2, 1)])
+    >>> service = SimRankService(g, methods=("probesim",),
+    ...                          configs={"probesim": {"eps_a": 0.2, "seed": 7}})
+    >>> service.single_source(0).score(0)
+    1.0
+
+    Parameters
+    ----------
+    graph:
+        The graph all estimators answer against.  A mutable
+        :class:`~repro.graph.digraph.DiGraph` enables :meth:`apply_edges`;
+        a frozen CSR snapshot restricts the service to read-only queries.
+    methods:
+        Registry names to instantiate up front (see :mod:`repro.api.registry`).
+    configs:
+        Optional per-method keyword configuration, ``{name: {key: value}}``.
+    default_method:
+        Method used when a query call passes ``method=None``
+        (default: the first entry of ``methods``).
+    auto_sync:
+        When True (default), :meth:`apply_edges` immediately syncs every
+        non-incremental estimator; when False, estimators are marked stale
+        and synced on the next explicit :meth:`sync`.
+    """
+
+    def __init__(
+        self,
+        graph,
+        methods: Sequence[str] = ("probesim",),
+        configs: dict[str, dict] | None = None,
+        default_method: str | None = None,
+        auto_sync: bool = True,
+    ) -> None:
+        self._graph = graph
+        self._estimators: dict[str, SimRankEstimator] = {}
+        self._default: str | None = None
+        self.auto_sync = auto_sync
+        self.stats = ServiceStats()
+        self._stale: set[str] = set()
+        configs = configs or {}
+        unknown = sorted(set(configs) - set(methods))
+        if unknown:
+            raise ConfigurationError(
+                f"configs given for unregistered service methods {unknown}"
+            )
+        for name in methods:
+            self.add_method(name, **configs.get(name, {}))
+        if default_method is not None:
+            if default_method not in self._estimators:
+                raise ConfigurationError(
+                    f"default_method {default_method!r} is not among "
+                    f"{sorted(self._estimators)}"
+                )
+            self._default = default_method
+
+    # ------------------------------------------------------------------ #
+    # method management
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self):
+        """The graph this service owns."""
+        return self._graph
+
+    @property
+    def methods(self) -> list[str]:
+        """Names the service can answer with, sorted."""
+        return sorted(self._estimators)
+
+    def add_method(self, name: str, alias: str | None = None, **config) -> SimRankEstimator:
+        """Instantiate registry method ``name`` on the service's graph.
+
+        ``alias`` stores the estimator under a different service-local name,
+        so the same registry method can be mounted twice with different
+        configurations.  Returns the new estimator.
+        """
+        key = alias or name
+        if key in self._estimators:
+            raise ConfigurationError(f"service already has a method named {key!r}")
+        estimator = create(name, self._graph, **config)
+        self._estimators[key] = estimator
+        if self._default is None:
+            self._default = key
+        return estimator
+
+    def estimator(self, method: str | None = None) -> SimRankEstimator:
+        """The estimator serving ``method`` (default method when None)."""
+        key = method or self._default
+        if key is None:
+            raise ConfigurationError("service has no methods registered")
+        try:
+            return self._estimators[key]
+        except KeyError:
+            raise ConfigurationError(
+                f"service has no method {key!r}; available: {self.methods}"
+            ) from None
+
+    def capabilities(self, method: str | None = None):
+        """Capability descriptor of one served method."""
+        return self.estimator(method).capabilities()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def single_source(self, query: int, method: str | None = None):
+        """One single-source query via the selected method."""
+        estimator = self.estimator(method)
+        self.stats.queries += 1
+        return estimator.single_source(query)
+
+    def topk(self, query: int, k: int, method: str | None = None):
+        """One top-k query via the selected method."""
+        estimator = self.estimator(method)
+        self.stats.queries += 1
+        return estimator.topk(query, k)
+
+    def single_source_many(
+        self, queries: Sequence[int], method: str | None = None
+    ) -> list:
+        """A batch of single-source queries, deduplicated per batch.
+
+        Distinct queries are answered through the estimator's batched
+        :meth:`~repro.api.estimator.SimRankEstimator.single_source_many`;
+        duplicate occurrences share the answer computed for their first
+        occurrence (one walk-sampling round per hot key per batch).
+        """
+        estimator = self.estimator(method)
+        batch = [self._check_query_id(query) for query in queries]
+        distinct = list(dict.fromkeys(batch))
+        results = estimator.single_source_many(distinct)
+        by_query = dict(zip(distinct, results))
+        self.stats.queries += len(batch)
+        self.stats.batches += 1
+        self.stats.batched_queries += len(batch)
+        self.stats.batched_unique += len(distinct)
+        return [by_query[query] for query in batch]
+
+    def topk_many(
+        self, queries: Sequence[int], k: int, method: str | None = None
+    ) -> list:
+        """Batched top-k: the top-k views of :meth:`single_source_many`."""
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        return [result.topk(k) for result in self.single_source_many(queries, method)]
+
+    # ------------------------------------------------------------------ #
+    # dynamic maintenance
+    # ------------------------------------------------------------------ #
+
+    def apply_edges(
+        self,
+        added: Iterable[tuple[int, int]] = (),
+        removed: Iterable[tuple[int, int]] = (),
+    ) -> int:
+        """Apply edge insertions/deletions to the graph and maintain estimators.
+
+        Returns the number of updates applied.  Insertions are applied before
+        deletions in the order given; use :meth:`apply_update_stream` for an
+        interleaved sequence.
+        """
+        updates = [EdgeUpdate("insert", int(s), int(t)) for s, t in added]
+        updates += [EdgeUpdate("delete", int(s), int(t)) for s, t in removed]
+        return self.apply_update_stream(updates)
+
+    def apply_update_stream(self, updates: Iterable[EdgeUpdate]) -> int:
+        """Apply an ordered update stream, notifying estimators by capability.
+
+        Each update mutates the graph first; incremental estimators are then
+        notified per update (their maintenance reads the post-update graph).
+        Non-incremental estimators are synced once after the whole stream —
+        immediately under ``auto_sync``, otherwise on the next :meth:`sync`.
+        """
+        if not isinstance(self._graph, DiGraph):
+            raise ConfigurationError(
+                "apply_edges needs a mutable DiGraph; this service owns a "
+                "frozen snapshot"
+            )
+        incremental = [
+            (name, est)
+            for name, est in self._estimators.items()
+            if est.capabilities().incremental_updates
+        ]
+        bulk = [
+            name for name, est in self._estimators.items()
+            if not est.capabilities().incremental_updates
+        ]
+        count = 0
+        try:
+            for update in updates:
+                apply_update(self._graph, update)
+                # mark immediately: if a later update (or notification) in the
+                # stream raises, already-applied mutations must still force a
+                # sync rather than leave bulk estimators silently stale
+                self._stale.update(bulk)
+                count += 1
+                for _, est in incremental:
+                    est.apply_updates([update])
+                    self.stats.incremental_notifications += 1
+        finally:
+            self.stats.updates_applied += count
+            if count and self.auto_sync:
+                self.sync()
+        return count
+
+    def sync(self) -> None:
+        """Flush deferred maintenance: sync every stale estimator."""
+        for name in sorted(self._stale):
+            self._estimators[name].sync()
+            self.stats.syncs += 1
+        self._stale.clear()
+
+    # ------------------------------------------------------------------ #
+
+    def _check_query_id(self, query) -> int:
+        """Normalize one query id to int (full validation is per-estimator)."""
+        if isinstance(query, bool) or not hasattr(query, "__index__"):
+            raise QueryError(f"query node must be an int, got {type(query).__name__}")
+        return int(query)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimRankService(methods={self.methods}, default={self._default!r}, "
+            f"queries={self.stats.queries})"
+        )

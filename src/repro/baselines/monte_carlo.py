@@ -25,6 +25,7 @@ import math
 
 import numpy as np
 
+from repro.api.estimator import Capabilities, SimRankEstimator
 from repro.core.results import SimRankResult
 from repro.errors import QueryError
 from repro.graph.csr import as_csr
@@ -40,19 +41,76 @@ def pair_sample_size(eps: float, delta: float) -> int:
     return max(1, math.ceil(math.log(1.0 / delta) / (2.0 * eps * eps)))
 
 
-class MonteCarlo:
-    """√c-walk Monte Carlo estimator over a CSR snapshot."""
+def source_sample_size(eps: float, delta: float, num_nodes: int) -> int:
+    """Chernoff + union-bound walk budget for a *single-source* estimate.
+
+    Each of the ``n - 1`` per-node meeting fractions is a mean of ``r``
+    indicator variables, so ``r = ceil(log(2 n / delta) / (2 eps^2))`` makes
+    every estimate ``eps``-accurate simultaneously with probability
+    ``1 - delta`` (the paper's §2 accuracy setup, union-bounded over nodes).
+    """
+    check_probability("eps", eps)
+    check_probability("delta", delta)
+    check_positive_int("num_nodes", num_nodes)
+    return max(
+        1, math.ceil(math.log(2.0 * num_nodes / delta) / (2.0 * eps * eps))
+    )
+
+
+class MonteCarlo(SimRankEstimator):
+    """√c-walk Monte Carlo estimator over a CSR snapshot.
+
+    ``eps_a`` / ``delta`` size the default single-source walk budget via
+    :func:`source_sample_size`; ``num_walks`` (constructor or per-call)
+    overrides it.
+    """
 
     #: hard cap on simulated steps; the chance of a √c-walk pair surviving
     #: this long is c^MAX_STEPS (< 1e-22 at c = 0.6).
     MAX_STEPS = 100
 
-    def __init__(self, graph, c: float = 0.6, seed=None) -> None:
+    def __init__(
+        self,
+        graph,
+        c: float = 0.6,
+        seed=None,
+        eps_a: float = 0.1,
+        delta: float = 0.01,
+        num_walks: int | None = None,
+    ) -> None:
         check_probability("c", c)
+        check_probability("eps_a", eps_a)
+        check_probability("delta", delta)
+        if num_walks is not None:
+            check_positive_int("num_walks", num_walks)
+        self._source_graph = graph
         self._csr = as_csr(graph)
         self.c = c
         self.sqrt_c = math.sqrt(c)
+        self.eps_a = eps_a
+        self.delta = delta
+        self.num_walks = num_walks
         self._rng = as_generator(seed)
+
+    def walk_count(self) -> int:
+        """The single-source walk budget: ``num_walks`` when set, otherwise
+        the (eps_a, delta) Chernoff bound of :func:`source_sample_size`."""
+        if self.num_walks is not None:
+            return self.num_walks
+        return source_sample_size(self.eps_a, self.delta, self._csr.num_nodes)
+
+    def sync(self) -> None:
+        """Re-snapshot the source graph (index-free: the whole maintenance)."""
+        self._csr = as_csr(self._source_graph)
+
+    def capabilities(self) -> Capabilities:
+        """Approximate, index-free, dynamic-friendly (O(m) sync)."""
+        return Capabilities(
+            method="mc",
+            exact=False,
+            index_based=False,
+            supports_dynamic=True,
+        )
 
     # ------------------------------------------------------------------ #
     # single pair
@@ -107,14 +165,17 @@ class MonteCarlo:
     # single source (fingerprints)
     # ------------------------------------------------------------------ #
 
-    def single_source(self, query: int, num_walks: int) -> SimRankResult:
-        """Estimate ``s(query, v)`` for all ``v`` with ``num_walks`` fingerprints.
+    def single_source(self, query: int, num_walks: int | None = None) -> SimRankResult:
+        """Estimate ``s(query, v)`` for all ``v`` with ``num_walks`` fingerprints
+        (default: the :meth:`walk_count` Chernoff budget).
 
         Walk ``j`` starts at every node simultaneously; node ``v``'s pair
         (query-walk j, v-walk j) counts as met if the two walks occupy the
         same node at the same step with both still alive.
         """
         self._check_node(query)
+        if num_walks is None:
+            num_walks = self.walk_count()
         check_positive_int("num_walks", num_walks)
         graph = self._csr
         rng = self._rng

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.estimator import Capabilities, SimRankEstimator
 from repro.core.results import SimRankResult
 from repro.errors import ConfigurationError, QueryError
 from repro.graph.csr import as_csr
@@ -25,7 +26,7 @@ from repro.utils.timer import Timer
 from repro.utils.validation import check_positive_int, check_probability
 
 
-class PowerMethod:
+class PowerMethod(SimRankEstimator):
     """Exact SimRank via the all-pairs power iteration.
 
     >>> from repro.graph import DiGraph
@@ -40,8 +41,10 @@ class PowerMethod:
     #: accidentally materialising tens of GB.
     MAX_DENSE_NODES = 20_000
 
-    def __init__(self, graph, c: float = 0.6) -> None:
+    def __init__(self, graph, c: float = 0.6, iterations: int = 55) -> None:
         check_probability("c", c)
+        check_positive_int("iterations", iterations)
+        self._source_graph = graph
         self._csr = as_csr(graph)
         if self._csr.num_nodes > self.MAX_DENSE_NODES:
             raise ConfigurationError(
@@ -50,25 +53,49 @@ class PowerMethod:
                 "MonteCarlo on graphs this large (that is the paper's point)."
             )
         self.c = c
+        self.iterations = iterations
         self._matrix: np.ndarray | None = None
         self._iterations_done = 0
+
+    def sync(self) -> None:
+        """Re-snapshot the source graph and drop the cached matrix.
+
+        There is no incremental path: exact all-pairs SimRank must be
+        recomputed from scratch, which is why the capability descriptor
+        marks this method as impractical on dynamic graphs.
+        """
+        self._csr = as_csr(self._source_graph)
+        self._matrix = None
+        self._iterations_done = 0
+
+    def capabilities(self) -> Capabilities:
+        """Exact, index-free, but recompute-everything on updates."""
+        return Capabilities(
+            method="power-method",
+            exact=True,
+            index_based=False,
+            supports_dynamic=False,
+        )
 
     @property
     def num_iterations(self) -> int:
         """Iterations used by the last :meth:`compute` call."""
         return self._iterations_done
 
-    def compute(self, iterations: int = 55, tol: float = 0.0) -> np.ndarray:
+    def compute(self, iterations: int | None = None, tol: float = 0.0) -> np.ndarray:
         """Run the power iteration and return (and cache) the SimRank matrix.
 
         Parameters
         ----------
         iterations:
-            Maximum iteration count (paper: 55 for <1e-12 error at c=0.6).
+            Maximum iteration count (default: the constructor's ``iterations``;
+            paper: 55 for <1e-12 error at c=0.6).
         tol:
             Early-exit when the max absolute entry change drops below this
             (0.0 disables early exit).
         """
+        if iterations is None:
+            iterations = self.iterations
         check_positive_int("iterations", iterations)
         n = self._csr.num_nodes
         transition = self._csr.transition  # P, column-stochastic (CSC)

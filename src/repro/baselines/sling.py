@@ -43,6 +43,7 @@ import math
 import numpy as np
 from scipy import sparse
 
+from repro.api.estimator import Capabilities, SimRankEstimator, warn_deprecated_verb
 from repro.core.results import SimRankResult
 from repro.errors import ConfigurationError, QueryError
 from repro.graph.csr import as_csr
@@ -53,7 +54,7 @@ from repro.utils.validation import check_positive_int, check_probability
 D_MODES = ("exact", "monte_carlo")
 
 
-class SLINGIndex:
+class SLINGIndex(SimRankEstimator):
     """Last-meeting-decomposition index for single-source SimRank.
 
     Parameters
@@ -184,10 +185,29 @@ class SLINGIndex:
                 alive[idx[~met]] = True
         return 1.0 - meets / self.d_samples
 
-    def rebuild(self) -> None:
-        """Full reconstruction — SLING's only response to a graph update."""
+    def sync(self) -> None:
+        """Full reconstruction — SLING's only response to a graph update.
+
+        Any edge change invalidates hitting probabilities globally, so the
+        unified maintenance verb is a from-scratch rebuild here (the §1
+        motivation for index-free ProbeSim).
+        """
         self._csr = as_csr(self._source_graph)
         self._build()
+
+    def rebuild(self) -> None:
+        """Deprecated alias of :meth:`sync` (the unified maintenance verb)."""
+        warn_deprecated_verb("SLINGIndex", "rebuild")
+        self.sync()
+
+    def capabilities(self) -> Capabilities:
+        """Approximate, index-based, static (rebuild-only maintenance)."""
+        return Capabilities(
+            method="sling",
+            exact=False,
+            index_based=True,
+            supports_dynamic=False,
+        )
 
     # ------------------------------------------------------------------ #
     # queries
@@ -224,10 +244,6 @@ class SLINGIndex:
             elapsed=timer.elapsed,
             method="sling",
         )
-
-    def topk(self, query: int, k: int):
-        """Approximate top-k answer derived from the single-source result."""
-        return self.single_source(query).topk(k)
 
     # ------------------------------------------------------------------ #
     # accounting

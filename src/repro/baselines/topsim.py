@@ -35,6 +35,7 @@ import math
 
 import numpy as np
 
+from repro.api.estimator import Capabilities, SimRankEstimator
 from repro.core.probe import probe_deterministic_vectorized
 from repro.core.results import SimRankResult
 from repro.errors import ConfigurationError, QueryError
@@ -45,7 +46,7 @@ from repro.utils.validation import check_positive_int, check_probability
 VARIANTS = ("full", "truncated", "prioritized")
 
 
-class TopSim:
+class TopSim(SimRankEstimator):
     """Index-free truncated SimRank search (TopSim-SM and variants).
 
     Parameters
@@ -83,6 +84,7 @@ class TopSim:
         check_positive_int("priority_width", priority_width)
         if not 0.0 <= eta < 1.0:
             raise ConfigurationError(f"eta must lie in [0, 1), got {eta!r}")
+        self._source_graph = graph
         self._csr = as_csr(graph)
         self.c = c
         self.sqrt_c = math.sqrt(c)
@@ -91,6 +93,19 @@ class TopSim:
         self.degree_threshold = degree_threshold
         self.eta = eta
         self.priority_width = priority_width
+
+    def sync(self) -> None:
+        """Re-snapshot the source graph (index-free: the whole maintenance)."""
+        self._csr = as_csr(self._source_graph)
+
+    def capabilities(self) -> Capabilities:
+        """Deterministic but truncated (approximate), index-free, dynamic."""
+        return Capabilities(
+            method=self.method_name,
+            exact=False,
+            index_based=False,
+            supports_dynamic=True,
+        )
 
     @property
     def method_name(self) -> str:
@@ -164,10 +179,6 @@ class TopSim:
             elapsed=timer.elapsed,
             method=self.method_name,
         )
-
-    def topk(self, query: int, k: int):
-        """Top-k answer from the truncated single-source estimate."""
-        return self.single_source(query).topk(k)
 
     def __repr__(self) -> str:
         return (

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.estimator import Capabilities, SimRankEstimator, warn_deprecated_verb
 from repro.core.results import SimRankResult
 from repro.errors import QueryError
 from repro.graph.csr import as_csr
@@ -44,7 +45,7 @@ from repro.utils.timer import Timer
 from repro.utils.validation import check_positive_int, check_probability
 
 
-class TSFIndex:
+class TSFIndex(SimRankEstimator):
     """One-way-graph index for top-k SimRank on dynamic graphs.
 
     Parameters mirror the paper's: ``rg`` one-way graphs (they use 300),
@@ -102,10 +103,29 @@ class TSFIndex:
         """Preprocessing wall-clock of the last (re)build."""
         return self._build_time
 
-    def rebuild(self) -> None:
-        """Re-snapshot the graph and resample every one-way graph."""
+    def sync(self) -> None:
+        """Re-snapshot the graph and resample every one-way graph.
+
+        This is the coarse (from-scratch) maintenance path; prefer
+        :meth:`apply_updates` for streams of individual edge changes.
+        """
         self._csr = as_csr(self._source_graph)
         self._build()
+
+    def rebuild(self) -> None:
+        """Deprecated alias of :meth:`sync` (the unified maintenance verb)."""
+        warn_deprecated_verb("TSFIndex", "rebuild")
+        self.sync()
+
+    def capabilities(self) -> Capabilities:
+        """Approximate, index-based, with incremental dynamic maintenance."""
+        return Capabilities(
+            method="tsf",
+            exact=False,
+            index_based=True,
+            supports_dynamic=True,
+            incremental_updates=True,
+        )
 
     def _reverse_adjacency(self, index: int) -> tuple[np.ndarray, np.ndarray]:
         """CSR-style children arrays of one-way graph ``index``.
@@ -214,13 +234,19 @@ class TSFIndex:
             method="tsf",
         )
 
-    def topk(self, query: int, k: int):
-        """Top-k answer from the TSF single-source estimate."""
-        return self.single_source(query).topk(k)
-
     # ------------------------------------------------------------------ #
     # dynamic maintenance
     # ------------------------------------------------------------------ #
+
+    def apply_updates(self, updates) -> None:
+        """Incrementally patch the one-way graphs for a stream of updates.
+
+        The protocol's capability-dispatched maintenance hook: the caller
+        (e.g. :class:`repro.api.service.SimRankService`) mutates the graph
+        first, then notifies the index per update.
+        """
+        for update in updates:
+            self.apply_update(update)
 
     def apply_update(self, update: EdgeUpdate) -> None:
         """Incrementally maintain the one-way graphs for one edge update.

@@ -7,10 +7,16 @@ Subcommands
     the highest-scoring nodes.
 ``topk``
     Run an approximate top-k query.
+``methods``
+    List every registered query method with its capabilities.
 ``stats``
     Print Table 3-style statistics for an edge-list graph.
 ``dataset``
     Generate a named stand-in dataset and write it as an edge list.
+
+Every query method is resolved through :mod:`repro.api.registry` — the CLI
+holds no per-method construction code, so newly registered methods appear in
+``--method`` automatically.
 
 Examples
 --------
@@ -18,6 +24,7 @@ Examples
 
     python -m repro dataset --name wiki-vote --scale tiny --out /tmp/wv.txt
     python -m repro stats /tmp/wv.txt
+    python -m repro methods
     python -m repro topk /tmp/wv.txt --query 5 --k 10 --eps-a 0.1 --seed 7
     python -m repro single-source /tmp/wv.txt --query 5 --method mc --num-walks 500
 """
@@ -27,55 +34,47 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import MonteCarlo, PowerMethod, ProbeSim, SLINGIndex, TSFIndex, TopSim
+from repro.api.registry import capability_rows, create, get_entry, method_names
 from repro.datasets import DATASETS, load_dataset
 from repro.errors import ReproError
 from repro.eval.reporting import format_table
 from repro.graph import compute_stats, read_edge_list, write_edge_list
 
-METHODS = ("probesim", "mc", "power", "topsim", "trun-topsim", "prio-topsim", "tsf", "sling")
+METHODS = tuple(method_names())
 
 
-def _build_method(name: str, graph, args):
-    """Instantiate the requested query method with the CLI's knobs."""
-    if name == "probesim":
-        return ProbeSim(
-            graph,
-            c=args.c,
-            eps_a=args.eps_a,
-            delta=args.delta,
-            strategy=args.strategy,
-            seed=args.seed,
-            num_walks=args.num_walks,
-        )
-    if name == "power":
-        return PowerMethod(graph, c=args.c)
-    if name == "tsf":
-        return TSFIndex(graph, c=args.c, rg=args.rg, rq=args.rq, seed=args.seed)
-    if name == "sling":
-        return SLINGIndex(
-            graph, c=args.c, theta=args.theta, d_mode="monte_carlo",
-            d_samples=max(100, args.num_walks or 1000), seed=args.seed,
-        )
-    if name in ("topsim", "trun-topsim", "prio-topsim"):
-        variant = {"topsim": "full", "trun-topsim": "truncated",
-                   "prio-topsim": "prioritized"}[name]
-        return TopSim(graph, c=args.c, depth=args.depth, variant=variant)
-    if name == "mc":
+def _method_config(args) -> dict:
+    """Distill the CLI's option superset down to the selected method's knobs.
 
-        class _McAdapter:
-            """Give MonteCarlo the common single_source(query) shape."""
+    Options left at ``None`` are dropped so each method keeps its own
+    defaults; everything else is filtered against the registry entry's
+    declared ``config_keys``.
+    """
+    values = {
+        "c": args.c,
+        "eps_a": args.eps_a,
+        "delta": args.delta,
+        "strategy": args.strategy,
+        "seed": args.seed,
+        "num_walks": args.num_walks,
+        "depth": args.depth,
+        "rg": args.rg,
+        "rq": args.rq,
+        "theta": args.theta,
+        "d_mode": args.d_mode,
+        "d_samples": args.d_samples,
+    }
+    entry = get_entry(args.method)
+    return {
+        key: value
+        for key, value in values.items()
+        if key in entry.config_keys and value is not None
+    }
 
-            def __init__(self, inner, num_walks):
-                self._inner = inner
-                self._num_walks = num_walks
 
-            def single_source(self, query):
-                return self._inner.single_source(query, self._num_walks)
-
-        return _McAdapter(MonteCarlo(graph, c=args.c, seed=args.seed),
-                          args.num_walks or 1000)
-    raise ReproError(f"unknown method {name!r}")  # pragma: no cover
+def _build_method(args, graph):
+    """Instantiate the requested query method through the registry."""
+    return create(args.method, graph, **_method_config(args))
 
 
 def _add_query_options(parser: argparse.ArgumentParser) -> None:
@@ -85,20 +84,27 @@ def _add_query_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--c", type=float, default=0.6, help="decay factor")
     parser.add_argument("--eps-a", type=float, default=0.1, dest="eps_a")
     parser.add_argument("--delta", type=float, default=0.01)
-    parser.add_argument("--strategy", default="hybrid",
-                        choices=("basic", "batch", "randomized", "hybrid"))
+    parser.add_argument("--strategy", default=None,
+                        choices=("basic", "batch", "randomized", "hybrid"),
+                        help="probesim strategy (default: the engine's hybrid)")
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--num-walks", type=int, default=None, dest="num_walks",
                         help="override the theoretical walk count (probesim/mc)")
-    parser.add_argument("--depth", type=int, default=3, help="TopSim depth T")
+    parser.add_argument("--depth", type=int, default=None,
+                        help="walk depth (TopSim T / TSF query depth)")
     parser.add_argument("--rg", type=int, default=100, help="TSF one-way graphs")
     parser.add_argument("--rq", type=int, default=10, help="TSF reuse count")
     parser.add_argument("--theta", type=float, default=1e-3, help="SLING threshold")
+    parser.add_argument("--d-mode", default="monte_carlo", dest="d_mode",
+                        choices=("exact", "monte_carlo"),
+                        help="SLING diagonal-correction estimator")
+    parser.add_argument("--d-samples", type=int, default=1000, dest="d_samples",
+                        help="SLING monte_carlo d-estimation samples")
 
 
 def _cmd_single_source(args) -> int:
     graph = read_edge_list(args.graph)
-    method = _build_method(args.method, graph, args)
+    method = _build_method(args, graph)
     result = method.single_source(args.query)
     top = result.topk(args.limit)
     rows = [
@@ -114,13 +120,29 @@ def _cmd_single_source(args) -> int:
 
 def _cmd_topk(args) -> int:
     graph = read_edge_list(args.graph)
-    method = _build_method(args.method, graph, args)
-    top = method.single_source(args.query).topk(args.k)
+    method = _build_method(args, graph)
+    top = method.topk(args.query, args.k)
     rows = [
         {"rank": rank, "node": node, "estimate": score}
         for rank, (node, score) in enumerate(top.as_pairs(), start=1)
     ]
     print(format_table(rows, title=f"{args.method}: top-{args.k} for node {args.query}"))
+    return 0
+
+
+def _cmd_methods(args) -> int:
+    rows = [
+        {
+            "method": row["name"],
+            "exact": "yes" if row["exact"] else "no",
+            "index": "yes" if row["index"] else "no",
+            "dynamic": "yes" if row["dynamic"] else "no",
+            "incremental": "yes" if row["incremental"] else "no",
+            "summary": row["summary"],
+        }
+        for row in capability_rows()
+    ]
+    print(format_table(rows, title="registered SimRank methods"))
     return 0
 
 
@@ -156,6 +178,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_query_options(topk)
     topk.add_argument("--k", type=int, default=10)
     topk.set_defaults(func=_cmd_topk)
+
+    methods = sub.add_parser("methods", help="list registered methods + capabilities")
+    methods.set_defaults(func=_cmd_methods)
 
     stats = sub.add_parser("stats", help="print graph statistics")
     stats.add_argument("graph", help="edge-list file")

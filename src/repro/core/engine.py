@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.estimator import Capabilities, SimRankEstimator, warn_deprecated_verb
 from repro.core.config import ProbeSimConfig
 from repro.core.probe import (
     frontier_edge_budget,
@@ -42,7 +43,7 @@ from repro.core.randomized_probe import (
     probe_randomized,
     probe_randomized_from_membership,
 )
-from repro.core.results import SimRankResult, TopKResult
+from repro.core.results import SimRankResult
 from repro.core.tree import ReachabilityTree
 from repro.core.walks import sample_walk_batch
 from repro.errors import QueryError
@@ -67,7 +68,7 @@ class QueryStats:
         return self.walk_length_total / self.num_walks if self.num_walks else 0.0
 
 
-class ProbeSim:
+class ProbeSim(SimRankEstimator):
     """Index-free single-source / top-k SimRank (the paper's contribution).
 
     >>> from repro.graph import DiGraph
@@ -78,7 +79,7 @@ class ProbeSim:
     1.0
 
     The constructor accepts either a mutable :class:`DiGraph` (kept by
-    reference; call :meth:`refresh` after mutating it) or a frozen
+    reference; call :meth:`sync` after mutating it) or a frozen
     :class:`CSRGraph`.
     """
 
@@ -102,13 +103,27 @@ class ProbeSim:
         """The CSR snapshot queries run against."""
         return self._csr
 
-    def refresh(self) -> None:
+    def sync(self) -> None:
         """Re-snapshot the source graph after external mutations.
 
         This is the *entire* maintenance cost of ProbeSim under dynamic
         graphs (O(m) array packing); there is no index to rebuild.
         """
         self._csr = as_csr(self._source_graph)
+
+    def refresh(self) -> None:
+        """Deprecated alias of :meth:`sync` (the unified maintenance verb)."""
+        warn_deprecated_verb("ProbeSim", "refresh")
+        self.sync()
+
+    def capabilities(self) -> Capabilities:
+        """Approximate, index-free, dynamic-friendly (O(m) sync)."""
+        return Capabilities(
+            method=f"probesim-{self.config.strategy}",
+            exact=False,
+            index_based=False,
+            supports_dynamic=True,
+        )
 
     def single_source(self, query: int) -> SimRankResult:
         """Approximate single-source query (Definition 1) from ``query``."""
@@ -135,12 +150,8 @@ class ProbeSim:
             method=f"probesim-{cfg.strategy}",
         )
 
-    def topk(self, query: int, k: int) -> TopKResult:
-        """Approximate top-k query (Definition 2): sort the single-source
-        estimates and return the k best nodes (query node excluded)."""
-        if k <= 0:
-            raise QueryError(f"k must be positive, got {k}")
-        return self.single_source(query).topk(k)
+    # topk() and single_source_many() are inherited from SimRankEstimator:
+    # top-k sorts the single-source estimates (Definition 2), batches loop.
 
     # ------------------------------------------------------------------ #
     # strategy dispatch

@@ -1,16 +1,21 @@
 """Experiment runner: execute method x query grids and aggregate the metrics
 the paper reports.
 
-A *method* is anything exposing ``single_source(query) -> SimRankResult``; a
-:class:`MethodSpec` binds a display name to a zero-argument factory so each
-experiment constructs fresh instances (with fresh seeds) per dataset.
+A *method* is any :class:`repro.api.estimator.SimRankEstimator` (structural
+conformance suffices); a :class:`MethodSpec` binds a display name to a
+zero-argument factory so each experiment constructs fresh instances (with
+fresh seeds) per dataset.  :meth:`MethodSpec.from_registry` is the standard
+way to build specs — it routes construction through
+:mod:`repro.api.registry`, so experiment scripts never hand-wire estimator
+classes.
 
 :func:`run_single_source` reproduces the Figure 4 protocol (average max
 AbsError and average query time over a query set); :func:`run_topk` the
 Figures 5-7 protocol (Precision@k / NDCG@k / τk against exact ground truth).
-Pooling runs (Figures 8-10) are assembled in the benchmark harness from
-:func:`repro.eval.pooling.pool_evaluate` because they need all methods' lists
-per query before anything can be scored.
+Both push the whole query set through the estimator's batched
+``single_source_many`` hot path.  Pooling runs (Figures 8-10) are assembled
+in the benchmark harness from :func:`repro.eval.pooling.pool_evaluate`
+because they need all methods' lists per query before anything can be scored.
 """
 
 from __future__ import annotations
@@ -20,6 +25,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.api.estimator import SimRankEstimator
+from repro.api.registry import create
 from repro.errors import EvaluationError
 from repro.eval.ground_truth import GroundTruth
 from repro.eval.metrics import abs_error_max, kendall_tau, ndcg_at_k, precision_at_k
@@ -27,17 +34,29 @@ from repro.eval.metrics import abs_error_max, kendall_tau, ndcg_at_k, precision_
 
 @dataclass(frozen=True)
 class MethodSpec:
-    """A named, lazily-constructed query method."""
+    """A named, lazily-constructed query method (thin registry wrapper)."""
 
     name: str
     factory: Callable[[], object]
 
-    def build(self):
-        """Construct a fresh method instance and check its interface."""
+    @classmethod
+    def from_registry(cls, method: str, graph, label: str | None = None, **config):
+        """A spec whose factory constructs ``method`` through the registry.
+
+        ``label`` overrides the display name (e.g. ``probesim(eps=0.05)``
+        for parameter sweeps); ``config`` is passed to the registry factory
+        on every :meth:`build`.
+        """
+        return cls(label or method, lambda: create(method, graph, **config))
+
+    def build(self) -> SimRankEstimator:
+        """Construct a fresh method instance and check protocol conformance."""
         method = self.factory()
-        if not hasattr(method, "single_source"):
+        if not isinstance(method, SimRankEstimator):
             raise EvaluationError(
-                f"method {self.name!r} does not expose single_source()"
+                f"method {self.name!r} does not conform to the SimRankEstimator "
+                f"protocol (needs single_source/topk/single_source_many/sync/"
+                f"capabilities)"
             )
         return method
 
@@ -118,8 +137,7 @@ def run_single_source(
     for spec in methods:
         method = spec.build()
         outcome = SingleSourceOutcome(method=spec.name)
-        for query in queries:
-            result = method.single_source(query)
+        for query, result in zip(queries, method.single_source_many(list(queries))):
             truth = ground_truth.single_source(query)
             outcome.abs_errors.append(
                 abs_error_max(result.scores, truth, query)
@@ -144,8 +162,7 @@ def run_topk(
     for spec in methods:
         method = spec.build()
         outcome = TopKOutcome(method=spec.name)
-        for query in queries:
-            result = method.single_source(query)
+        for query, result in zip(queries, method.single_source_many(list(queries))):
             top = result.topk(k)
             truth = ground_truth.single_source(query)
             outcome.precisions.append(precision_at_k(top.nodes, truth, k, query))

@@ -30,6 +30,7 @@ import math
 
 import numpy as np
 
+from repro.api.estimator import Capabilities, SimRankEstimator
 from repro.core.config import ProbeSimConfig
 from repro.core.engine import ProbeSim, QueryStats
 from repro.core.results import SimRankResult, TopKResult
@@ -39,7 +40,7 @@ from repro.errors import QueryError
 from repro.utils.timer import Timer
 
 
-class AdaptiveTopK:
+class AdaptiveTopK(SimRankEstimator):
     """Early-stopping top-k SimRank on top of a :class:`ProbeSim` engine.
 
     Parameters
@@ -70,6 +71,30 @@ class AdaptiveTopK:
     @property
     def config(self) -> ProbeSimConfig:
         return self._engine.config
+
+    def single_source(self, query: int) -> SimRankResult:
+        """Full-budget single-source answer via the underlying engine.
+
+        Adaptivity only pays off for top-k (the stopping rule needs a k-th /
+        (k+1)-th gap), so single-source queries run the standard Theorem 1
+        walk budget and are simply relabelled.
+        """
+        result = self._engine.single_source(query)
+        result.method = "probesim-adaptive"
+        return result
+
+    def sync(self) -> None:
+        """Re-snapshot the engine's graph (index-free maintenance)."""
+        self._engine.sync()
+
+    def capabilities(self) -> Capabilities:
+        """Approximate, index-free, dynamic-friendly (O(m) sync)."""
+        return Capabilities(
+            method="probesim-adaptive",
+            exact=False,
+            index_based=False,
+            supports_dynamic=True,
+        )
 
     def topk(self, query: int, k: int) -> TopKResult:
         """Adaptive approximate top-k query (Definition 2)."""

@@ -23,17 +23,17 @@ SLING's full rebuild.
 
 from __future__ import annotations
 
+from repro.api.estimator import Capabilities, SimRankEstimator
 from repro.core.config import ProbeSimConfig
 from repro.core.engine import ProbeSim, QueryStats
-from repro.core.results import SimRankResult, TopKResult
+from repro.core.results import SimRankResult
 from repro.core.tree import ReachabilityTree
-from repro.errors import QueryError
 from repro.graph.dynamic import EdgeUpdate
 from repro.utils.sizing import deep_sizeof
 from repro.utils.timer import Timer
 
 
-class WalkIndex:
+class WalkIndex(SimRankEstimator):
     """Cached-walk accelerator around a :class:`ProbeSim` engine.
 
     >>> from repro.graph import DiGraph
@@ -98,15 +98,34 @@ class WalkIndex:
             method="probesim-walkindex",
         )
 
-    def topk(self, query: int, k: int) -> TopKResult:
-        """Top-k answer from the cached-walk single-source estimate."""
-        if k <= 0:
-            raise QueryError(f"k must be positive, got {k}")
-        return self.single_source(query).topk(k)
+    # topk() and single_source_many() come from SimRankEstimator.
 
     # ------------------------------------------------------------------ #
     # maintenance
     # ------------------------------------------------------------------ #
+
+    def sync(self) -> None:
+        """Coarse maintenance: re-snapshot the engine and drop every tree.
+
+        Used after bulk graph replacement; for individual edge updates the
+        incremental :meth:`apply_updates` path keeps unaffected trees alive.
+        """
+        self.invalidate_all()
+
+    def capabilities(self) -> Capabilities:
+        """Approximate, index-based (cached trees), incremental maintenance."""
+        return Capabilities(
+            method="probesim-walkindex",
+            exact=False,
+            index_based=True,
+            supports_dynamic=True,
+            incremental_updates=True,
+        )
+
+    def apply_updates(self, updates) -> None:
+        """Incremental maintenance hook: fine-grained eviction per update."""
+        for update in updates:
+            self.apply_update(update)
 
     def apply_update(self, update: EdgeUpdate) -> None:
         """Invalidate cached trees whose walk distribution the update stales.
@@ -115,7 +134,7 @@ class WalkIndex:
         snapshot); this method only evicts cache entries that visit the
         update's *target* node, whose in-neighbour list changed.
         """
-        self._engine.refresh()
+        self._engine.sync()
         stale_queries = self._touched.get(update.target, set()).copy()
         for query in stale_queries:
             self._evict(query)
@@ -124,7 +143,7 @@ class WalkIndex:
         """Drop every cached tree (e.g. after bulk graph replacement)."""
         self._trees.clear()
         self._touched.clear()
-        self._engine.refresh()
+        self._engine.sync()
 
     def index_bytes(self) -> int:
         """Actual Python memory of the cached trees + incidence map."""

@@ -36,4 +36,5 @@ __all__ = [
     "preferential_attachment_graph",
     "read_edge_list",
     "web_graph",
+    "write_edge_list",
 ]

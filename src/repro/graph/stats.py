@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.graph.csr import CSRGraph, as_csr
+from repro.graph.csr import as_csr
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,38 @@
+"""Deprecation hygiene: refresh()/rebuild() alias sync() with a warning."""
+
+import numpy as np
+import pytest
+
+from repro import ProbeSim, SLINGIndex, TSFIndex
+
+
+class TestDeprecatedMaintenanceVerbs:
+    def test_probesim_refresh_warns_and_still_works(self, toy):
+        graph = toy.copy()
+        engine = ProbeSim(graph, eps_a=0.2, seed=1, num_walks=40)
+        graph.add_edge(0, 5)
+        with pytest.warns(DeprecationWarning, match=r"ProbeSim\.refresh\(\) is deprecated"):
+            engine.refresh()
+        assert engine.graph.num_edges == graph.num_edges  # picked up the edge
+
+    def test_sling_rebuild_warns_and_still_works(self, toy):
+        graph = toy.copy()
+        index = SLINGIndex(graph, theta=1e-3, seed=2)
+        graph.add_edge(0, 5)
+        with pytest.warns(DeprecationWarning, match=r"SLINGIndex\.rebuild\(\)"):
+            index.rebuild()
+        assert np.all(np.isfinite(index.single_source(5).scores))
+
+    def test_tsf_rebuild_warns_and_still_works(self, toy):
+        graph = toy.copy()
+        index = TSFIndex(graph, rg=10, rq=2, depth=4, seed=3)
+        graph.add_edge(0, 5)
+        with pytest.warns(DeprecationWarning, match=r"TSFIndex\.rebuild\(\)"):
+            index.rebuild()
+        assert np.all(np.isfinite(index.single_source(0).scores))
+
+    def test_sync_does_not_warn(self, toy, recwarn):
+        engine = ProbeSim(toy.copy(), eps_a=0.2, seed=1, num_walks=40)
+        engine.sync()
+        deprecations = [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
+        assert not deprecations

@@ -1,0 +1,142 @@
+"""Tests for the batched, dynamic-graph SimRankService."""
+
+import numpy as np
+import pytest
+
+from repro.api import SimRankService
+from repro.errors import ConfigurationError, QueryError
+from repro.graph import CSRGraph
+from repro.graph.dynamic import generate_update_stream
+
+
+def make_service(graph, **kwargs):
+    """A two-method service with cheap configs on the given graph."""
+    defaults = dict(
+        methods=("probesim", "power"),
+        configs={"probesim": {"eps_a": 0.2, "seed": 11, "num_walks": 60}},
+    )
+    defaults.update(kwargs)
+    return SimRankService(graph, **defaults)
+
+
+class TestConstruction:
+    def test_default_method_is_first(self, toy):
+        service = make_service(toy.copy())
+        assert service.estimator() is service.estimator("probesim")
+        assert service.methods == ["power", "probesim"]
+
+    def test_unknown_default_rejected(self, toy):
+        with pytest.raises(ConfigurationError):
+            SimRankService(toy.copy(), methods=("probesim",), default_method="sling")
+
+    def test_config_for_unmounted_method_rejected(self, toy):
+        with pytest.raises(ConfigurationError):
+            SimRankService(toy.copy(), methods=("probesim",),
+                           configs={"tsf": {"rg": 5}})
+
+    def test_alias_mounts_method_twice(self, toy):
+        service = SimRankService(toy.copy(), methods=())
+        service.add_method("probesim", alias="fast", eps_a=0.3, num_walks=30, seed=1)
+        service.add_method("probesim", alias="accurate", eps_a=0.1, seed=1)
+        assert service.methods == ["accurate", "fast"]
+        assert service.single_source(0, method="fast").num_walks == 30
+
+    def test_duplicate_mount_rejected(self, toy):
+        service = make_service(toy.copy())
+        with pytest.raises(ConfigurationError):
+            service.add_method("probesim")
+
+    def test_unknown_method_lookup(self, toy):
+        service = make_service(toy.copy())
+        with pytest.raises(ConfigurationError, match="no method"):
+            service.single_source(0, method="sling")
+
+
+class TestQueries:
+    def test_single_and_topk(self, toy):
+        service = make_service(toy.copy())
+        assert service.single_source(0).score(0) == 1.0
+        top = service.topk(0, 3, method="power")
+        assert top.k == 3
+        assert service.stats.queries == 2
+
+    def test_batch_deduplicates(self, toy):
+        service = make_service(toy.copy())
+        queries = [0, 3, 0, 5, 3, 0]
+        results = service.single_source_many(queries)
+        assert [r.query for r in results] == queries
+        # duplicates share the first occurrence's answer (one sampling round)
+        np.testing.assert_array_equal(results[0].scores, results[2].scores)
+        np.testing.assert_array_equal(results[1].scores, results[4].scores)
+        assert service.stats.batched_queries == 6
+        assert service.stats.batched_unique == 3
+        assert service.stats.batch_dedup_saved == 3
+
+    def test_topk_many(self, toy):
+        service = make_service(toy.copy())
+        tops = service.topk_many([0, 1, 0], k=2, method="power")
+        assert [t.query for t in tops] == [0, 1, 0]
+        assert all(t.k == 2 for t in tops)
+        with pytest.raises(QueryError):
+            service.topk_many([0], k=0)
+
+    def test_bad_query_type_rejected(self, toy):
+        service = make_service(toy.copy())
+        with pytest.raises(QueryError):
+            service.single_source_many(["a"])
+
+
+class TestUpdates:
+    def test_apply_edges_mutates_graph_and_syncs(self, toy):
+        graph = toy.copy()
+        service = make_service(graph)
+        exact_before = service.single_source(5, method="power").scores.copy()
+        applied = service.apply_edges(added=[(0, 5)])
+        assert applied == 1
+        assert graph.has_edge(0, 5)
+        assert service.stats.updates_applied == 1
+        assert service.stats.syncs == 2  # both mounted methods are bulk-sync
+        exact_after = service.single_source(5, method="power").scores
+        assert not np.array_equal(exact_before, exact_after)
+
+    def test_deferred_sync(self, toy):
+        graph = toy.copy()
+        service = make_service(graph, auto_sync=False)
+        service.apply_edges(added=[(0, 5)])
+        assert service.stats.syncs == 0  # deferred
+        # the power method's cached matrix is stale until sync()
+        stale = service.single_source(5, method="power").scores.copy()
+        service.sync()
+        assert service.stats.syncs == 2
+        fresh = service.single_source(5, method="power").scores
+        assert not np.array_equal(stale, fresh)
+
+    def test_incremental_methods_notified_per_update(self, toy):
+        graph = toy.copy()
+        service = SimRankService(
+            graph,
+            methods=("tsf", "probesim"),
+            configs={
+                "tsf": {"rg": 10, "rq": 2, "depth": 4, "seed": 3},
+                "probesim": {"eps_a": 0.3, "num_walks": 30, "seed": 3},
+            },
+        )
+        stream = generate_update_stream(graph, 4, seed=5)
+        applied = service.apply_update_stream(stream)
+        assert applied == 4
+        # tsf is incremental: notified once per update; probesim bulk-synced
+        assert service.stats.incremental_notifications == 4
+        assert service.stats.syncs == 1
+        assert np.all(np.isfinite(service.single_source(0, method="tsf").scores))
+
+    def test_frozen_graph_rejects_updates(self, toy):
+        service = make_service(CSRGraph.from_digraph(toy))
+        with pytest.raises(ConfigurationError, match="mutable"):
+            service.apply_edges(added=[(0, 5)])
+
+    def test_stats_row(self, toy):
+        service = make_service(toy.copy())
+        service.single_source(0)
+        row = service.stats.as_row()
+        assert row["queries"] == 1
+        assert "dedup_saved" in row and "syncs" in row

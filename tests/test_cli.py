@@ -40,6 +40,15 @@ class TestStatsCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestMethodsCommand:
+    def test_lists_registry_with_capabilities(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("probesim", "sling", "tsf", "topsim", "mc", "power"):
+            assert name in out
+        assert "dynamic" in out and "incremental" in out
+
+
 class TestQueryCommands:
     def test_single_source_probesim(self, toy_path, capsys):
         code = main([
@@ -71,6 +80,8 @@ class TestQueryCommands:
             ["--method", "tsf", "--rg", "20", "--rq", "2"],
             ["--method", "sling"],
             ["--method", "probesim", "--strategy", "basic", "--num-walks", "200"],
+            ["--method", "probesim-walkindex", "--num-walks", "100"],
+            ["--method", "probesim-adaptive", "--num-walks", "100"],
         ],
     )
     def test_every_method_runs(self, toy_path, capsys, method_args):

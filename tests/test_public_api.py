@@ -26,8 +26,8 @@ class TestExports:
 
     @pytest.mark.parametrize(
         "package",
-        ["repro.graph", "repro.core", "repro.baselines", "repro.eval",
-         "repro.datasets", "repro.extensions", "repro.utils"],
+        ["repro.api", "repro.graph", "repro.core", "repro.baselines",
+         "repro.eval", "repro.datasets", "repro.extensions", "repro.utils"],
     )
     def test_subpackage_all_importable(self, package):
         module = importlib.import_module(package)
