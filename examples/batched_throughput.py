@@ -1,0 +1,67 @@
+"""Batched trie-sharing engine: the serving hot path, demonstrated.
+
+One ProbeSim configuration, two execution engines:
+
+- ``engine="loop"``   — the paper's per-prefix probe loop (oracle path);
+- ``engine="batched"`` — all sampled walks enter a prefix trie and every
+  trie level advances with one sparse matmul; a whole query batch shares
+  the sweep as a forest.
+
+The demo checks three things end to end: identical fixed-seed answers to
+float round-off, a single-query speedup, and a service batch flowing
+through ``SimRankService.topk_many`` into one forest sweep.
+
+Run:  python examples/batched_throughput.py
+"""
+
+import numpy as np
+
+from repro import ProbeSim, SimRankService
+from repro.graph.generators import erdos_renyi_graph
+from repro.utils.timer import Timer
+
+graph = erdos_renyi_graph(800, num_edges=4_000, seed=11)
+print(f"graph: {graph}")
+
+CONFIG = dict(c=0.6, eps_a=0.1, delta=0.1, strategy="batch",
+              num_walks=800, seed=42)
+QUERY = 17
+
+# -- same answers, different execution ------------------------------------
+loop_engine = ProbeSim(graph, engine="loop", **CONFIG)
+batched_engine = ProbeSim(graph, engine="batched", **CONFIG)
+
+with Timer() as t_loop:
+    loop_result = loop_engine.single_source(QUERY)
+with Timer() as t_batched:
+    batched_result = batched_engine.single_source(QUERY)
+
+gap = float(np.abs(loop_result.scores - batched_result.scores).max())
+print(f"\nsingle-source from node {QUERY} ({loop_result.num_walks} walks)")
+print(f"  loop engine:    {t_loop.elapsed:.3f}s")
+print(f"  batched engine: {t_batched.elapsed:.3f}s "
+      f"({t_loop.elapsed / t_batched.elapsed:.1f}x)")
+print(f"  max |loop - batched| = {gap:.2e} (same walks, shared probes)")
+assert gap <= loop_engine.config.eps_a  # bounded by the pruning budget
+assert batched_engine.capabilities().vectorized
+
+# -- a service batch rides one forest sweep -------------------------------
+service = SimRankService(
+    graph,
+    methods=("probesim-batched",),
+    configs={"probesim-batched": dict(eps_a=0.1, delta=0.1,
+                                      num_walks=800, seed=7)},
+)
+hot_queries = [17, 3, 17, 250, 3, 17, 99]  # hot-key mix: dedup + forest
+with Timer() as t_batch:
+    tops = service.topk_many(hot_queries, k=5)
+print(f"\nservice batch of {len(hot_queries)} top-5 queries "
+      f"({service.stats.batch_dedup_saved} served from batch dedup): "
+      f"{t_batch.elapsed:.3f}s")
+for query, top in zip(hot_queries[:3], tops[:3]):
+    best, score = top.as_pairs()[0]
+    print(f"  node {query}: most similar {best} (s ~= {score:.3f})")
+
+# duplicates inside the batch share one answer object
+assert tops[0].as_pairs() == tops[2].as_pairs()
+print("\nbatched engine = same guarantee, shared work — done.")

@@ -76,6 +76,12 @@ class Capabilities:
     incremental_updates:
         True when :meth:`SimRankEstimator.apply_updates` patches state
         per-edge instead of falling back to a full :meth:`~SimRankEstimator.sync`.
+    vectorized:
+        True when queries execute through a batched, level-synchronous
+        kernel (one C-level sweep per walk batch — ProbeSim's trie-sharing
+        engine, :mod:`repro.core.batch_engine`) rather than per-walk
+        interpreter loops.  Serving layers prefer vectorized methods for
+        high-throughput batches.
     """
 
     method: str
@@ -83,6 +89,7 @@ class Capabilities:
     index_based: bool
     supports_dynamic: bool
     incremental_updates: bool = False
+    vectorized: bool = False
 
     def as_row(self) -> dict[str, object]:
         """Flat dict row for table rendering (CLI ``methods`` subcommand)."""
@@ -92,6 +99,7 @@ class Capabilities:
             "index": self.index_based,
             "dynamic": self.supports_dynamic,
             "incremental": self.incremental_updates,
+            "vectorized": self.vectorized,
         }
 
 

@@ -55,6 +55,7 @@ def _method_config(args) -> dict:
         "eps_a": args.eps_a,
         "delta": args.delta,
         "strategy": args.strategy,
+        "engine": args.engine,
         "seed": args.seed,
         "num_walks": args.num_walks,
         "depth": args.depth,
@@ -87,6 +88,11 @@ def _add_query_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--strategy", default=None,
                         choices=("basic", "batch", "randomized", "hybrid"),
                         help="probesim strategy (default: the engine's hybrid)")
+    parser.add_argument("--engine", default=None,
+                        choices=("auto", "loop", "batched"),
+                        help="probesim probe execution: per-prefix 'loop' or "
+                             "the vectorized trie-sharing 'batched' kernel "
+                             "(default auto: batched for --strategy batch)")
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--num-walks", type=int, default=None, dest="num_walks",
                         help="override the theoretical walk count (probesim/mc)")
@@ -138,6 +144,7 @@ def _cmd_methods(args) -> int:
             "index": "yes" if row["index"] else "no",
             "dynamic": "yes" if row["dynamic"] else "no",
             "incremental": "yes" if row["incremental"] else "no",
+            "vectorized": "yes" if row["vectorized"] else "no",
             "summary": row["summary"],
         }
         for row in capability_rows()

@@ -1,0 +1,172 @@
+"""Batched trie-sharing PROBE execution (the vectorized ProbeSim engine).
+
+The loop engine answers one query by probing every distinct walk prefix
+independently: for a trie node at depth ``d`` it runs ``d - 1`` frontier
+propagations, so a batch of ``R`` walks costs ``O(sum_t (d_t - 1))``
+Python-level propagation calls.  This module replaces that inner loop with
+one *level-synchronous sweep over the prefix trie*:
+
+1.  every distinct prefix starts a probe as a score column seeded with its
+    multiplicity (``weights[t]`` at its endpoint node);
+2.  levels are processed deepest-first; sibling columns merge into their
+    parent's column, then the whole merged level advances with a single
+    sparse matmul (``sqrt_c * B`` applied to every column at once; scipy
+    accumulates each output column independently and in the same order as
+    a single matvec, so batching columns never changes a column's bits);
+3.  after each step a column is zeroed at its own trie node — exactly
+    Algorithm 2's first-meeting "avoid" projection, because a probe walking
+    back up its own prefix must dodge the prefix node one level up, and all
+    siblings share that node (their parent's).  Merging before propagating
+    is exact: the matmul and the zeroing are both linear, and merged
+    columns share their entire remaining avoid sequence.
+
+The whole batch therefore costs one sparse matmul per trie level transition
+(``O(levels)`` C-level kernels over at most ``m x K_level`` work) instead of
+``O(R x levels)`` interpreter-driven probes, and a *forest* of tries — one
+per query of a service batch — shares the same sweep: columns of different
+queries ride the same matmuls without ever mixing.
+
+Exactness: merging changes only the association order of floating-point
+sums, never the set of real-valued terms, so results match the loop engine
+node-for-node to float round-off (and bit-for-bit whenever every
+intermediate value is exactly representable — see the golden-equivalence
+suite).  Pruning rule 2 is *not* applied by default: it exists to save
+per-probe work, the dense level sweep has no per-entry work to save, and
+skipping it is strictly more accurate at identical cost (so Theorem 2's
+budget holds with the pruning term at zero; rule 1 truncation still caps
+walk length).  ``eps_p`` remains available on the kernel for
+cross-validation — applied to the merged multiplicity-weighted columns it
+prunes no entry the loop engine would have kept, keeping the engines'
+divergence one-sided and inside the rule 2 budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.walk_trie import WalkTrie
+from repro.graph.csr import CSRGraph
+
+__all__ = ["probe_trie_forest", "probe_trie_shared"]
+
+
+@dataclass(frozen=True)
+class _LevelPlan:
+    """Concatenated per-depth probe columns across every trie of the forest."""
+
+    nodes: np.ndarray  # int64 (k,) endpoint graph node per column
+    weights: np.ndarray  # float64 (k,) walk multiplicity per column
+    parent_cols: np.ndarray  # int64 (k,) destination column one level up (sorted)
+
+
+def _build_plans(tries: Sequence[WalkTrie], max_depth: int) -> list[_LevelPlan]:
+    """Flatten the forest into one column plan per depth (index 0 = depth 2)."""
+    plans: list[_LevelPlan] = []
+    offsets = [0] * len(tries)  # column offset of each trie at depth d - 1
+    for depth in range(2, max_depth + 1):
+        nodes, weights, parent_cols = [], [], []
+        next_offsets = list(offsets)
+        total = 0
+        for ti, trie in enumerate(tries):
+            if trie.max_depth < depth:
+                continue
+            level = trie.levels[depth - 2]
+            nodes.append(level.nodes)
+            weights.append(level.weights)
+            if depth == 2:
+                # parents are the per-trie roots: route into result column ti
+                parent_cols.append(np.full(len(level), ti, dtype=np.int64))
+            else:
+                parent_cols.append(offsets[ti] + level.parents)
+            next_offsets[ti] = total
+            total += len(level)
+        plans.append(
+            _LevelPlan(
+                nodes=np.concatenate(nodes),
+                weights=np.concatenate(weights).astype(np.float64),
+                parent_cols=np.concatenate(parent_cols),
+            )
+        )
+        offsets = next_offsets
+    return plans
+
+
+def probe_trie_forest(
+    graph: CSRGraph,
+    tries: Sequence[WalkTrie],
+    sqrt_c: float,
+    eps_p: float = 0.0,
+) -> np.ndarray:
+    """Probe every distinct prefix of every trie in one level-synchronous sweep.
+
+    Returns an ``(n, len(tries))`` float64 array; column ``q`` holds the
+    multiplicity-weighted sum of deterministic PROBE scores over all of trie
+    ``q``'s prefixes — the unnormalised Algorithm 3 accumulator (callers
+    divide by the walk count).  ``eps_p`` applies Pruning rule 2 to the
+    merged columns before every transition.
+    """
+    n = graph.num_nodes
+    max_depth = max((trie.max_depth for trie in tries), default=1)
+    if max_depth < 2:
+        return np.zeros((n, len(tries)), dtype=np.float64)
+    plans = _build_plans(tries, max_depth)
+    # prescale once per sweep: saves one full dense pass per level
+    operator = graph.backward_operator * sqrt_c
+    roots = np.array([trie.root for trie in tries], dtype=np.int64)
+
+    scores: np.ndarray | None = None
+    for depth in range(max_depth, 1, -1):
+        plan = plans[depth - 2]
+        k = len(plan.nodes)
+        if scores is None:
+            scores = np.zeros((n, k), dtype=np.float64)
+        # launch this level's probes: multiplicity mass at each prefix endpoint
+        scores[plan.nodes, np.arange(k)] += plan.weights
+        if eps_p > 0.0:
+            # Pruning rule 2 on the merged columns: entries that cannot beat
+            # eps_p even after gaining the full remaining sqrt(c) decay are
+            # dropped.  The engine passes eps_p = 0 (pruning exists to save
+            # per-probe work, and the dense level sweep has none to save, so
+            # skipping it is strictly more accurate at identical cost); the
+            # knob is kept for cross-validation against per-probe pruning.
+            scores[scores * sqrt_c ** (depth - 1) <= eps_p] = 0.0
+        # merge sibling columns into their parent BEFORE propagating: every
+        # sibling shares its avoid node (the parent's graph node), and both
+        # the matmul and the zeroing are linear, so merging first is exact —
+        # and the matmul then runs on the narrower merged matrix.  Siblings
+        # are contiguous and most parents have exactly one child, so the
+        # first child of every parent lands with one gather-assign and only
+        # the few remaining siblings pay a per-column add.
+        if depth == 2:
+            k_next, next_nodes = len(tries), roots
+        else:
+            next_plan = plans[depth - 3]
+            k_next, next_nodes = len(next_plan.nodes), next_plan.nodes
+        merged = np.empty((n, k_next), dtype=np.float64)
+        first_child = np.r_[True, plan.parent_cols[1:] != plan.parent_cols[:-1]]
+        parents_hit = plan.parent_cols[first_child]
+        merged[:, parents_hit] = scores[:, first_child]
+        if len(parents_hit) < k_next:  # parents whose walks all end here
+            childless = np.ones(k_next, dtype=bool)
+            childless[parents_hit] = False
+            merged[:, childless] = 0.0
+        for col in np.flatnonzero(~first_child):
+            merged[:, plan.parent_cols[col]] += scores[:, col]
+        scores = operator @ merged
+        # the avoid projection: mass arriving at a prefix's own endpoint met
+        # the query walk one step too early — zero each column at its node
+        scores[next_nodes, np.arange(k_next)] = 0.0
+    return scores
+
+
+def probe_trie_shared(
+    graph: CSRGraph,
+    trie: WalkTrie,
+    sqrt_c: float,
+    eps_p: float = 0.0,
+) -> np.ndarray:
+    """Single-trie convenience wrapper: the ``(n,)`` accumulator of one query."""
+    return probe_trie_forest(graph, [trie], sqrt_c, eps_p)[:, 0]

@@ -34,6 +34,9 @@ STRATEGIES = ("basic", "batch", "randomized", "hybrid")
 #: deterministic-probe backends.
 BACKENDS = ("vectorized", "python")
 
+#: probe-execution engines (see repro.core.batch_engine for "batched").
+ENGINES = ("auto", "loop", "batched")
+
 
 @dataclass(frozen=True)
 class ErrorBudget:
@@ -131,6 +134,19 @@ class ProbeSimConfig:
         Deterministic probe implementation: ``"vectorized"`` (numpy/scipy,
         default) or ``"python"`` (dict-based reference; used for
         cross-validation and for running directly on a mutable DiGraph).
+    engine:
+        How probes are *executed*: ``"loop"`` runs one probe per distinct
+        prefix through the per-walk code path (the oracle engine);
+        ``"batched"`` runs the whole walk batch as one level-synchronous
+        sweep over the prefix trie (:mod:`repro.core.batch_engine`) — one
+        sparse matmul per trie level instead of one Python probe per prefix.
+        The default ``"auto"`` picks ``"batched"`` for the deterministic
+        dedup strategy (``strategy="batch"`` on the vectorized backend,
+        whose results it reproduces to float round-off) and ``"loop"``
+        everywhere else (``basic`` is the per-walk ablation baseline;
+        ``randomized``/``hybrid`` draw RNG inside individual probes).
+        ``"batched"`` requires a deterministic strategy and the vectorized
+        backend.
     sampling_fraction / truncation_fraction / pruning_fraction:
         Theorem 2 budget split, see :class:`ErrorBudget`.
     compensate_truncation:
@@ -157,6 +173,7 @@ class ProbeSimConfig:
     delta: float = 0.01
     strategy: str = "hybrid"
     backend: str = "vectorized"
+    engine: str = "auto"
     sampling_fraction: float = 0.7
     truncation_fraction: float = 0.2
     pruning_fraction: float = 0.1
@@ -179,6 +196,22 @@ class ProbeSimConfig:
             raise ConfigurationError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if self.engine == "batched":
+            if self.strategy in ("randomized", "hybrid"):
+                raise ConfigurationError(
+                    "engine='batched' shares deterministic probes across the "
+                    f"prefix trie; strategy {self.strategy!r} draws RNG inside "
+                    "individual probes — use engine='loop' (or 'auto')"
+                )
+            if self.backend != "vectorized":
+                raise ConfigurationError(
+                    "engine='batched' is inherently vectorized; "
+                    "backend='python' is only available with engine='loop'"
+                )
         if self.num_walks is not None:
             check_positive_int("num_walks", self.num_walks)
         if self.max_walk_length is not None:
@@ -210,6 +243,19 @@ class ProbeSimConfig:
     @property
     def sqrt_c(self) -> float:
         return math.sqrt(self.c)
+
+    def resolved_engine(self) -> str:
+        """The engine a query will actually run on (``"loop"``/``"batched"``).
+
+        ``"auto"`` resolves to the batched trie-sharing engine exactly when
+        its results are interchangeable with the loop engine's: the
+        deterministic dedup strategy (``"batch"``) on the vectorized backend.
+        """
+        if self.engine != "auto":
+            return self.engine
+        if self.strategy == "batch" and self.backend == "vectorized":
+            return "batched"
+        return "loop"
 
     def walk_count(self, num_nodes: int) -> int:
         """``nr = ceil(3 c / eps^2 * ln(n / delta))`` (Alg. 1 line 1), unless

@@ -23,6 +23,13 @@ Strategies (``ProbeSimConfig.strategy``):
     §4.4: batch over the tree; each path starts deterministic and switches to
     ``weight`` randomized continuations when its frontier grows past
     ``c0 * weight * n`` out-degree mass.
+
+Orthogonal to the strategy, ``ProbeSimConfig.engine`` selects how probes are
+*executed*: ``"loop"`` is the per-prefix code path below, ``"batched"`` runs
+the whole walk batch (and whole query batches via :meth:`single_source_many`)
+as one level-synchronous sweep over the prefix trie — see
+:mod:`repro.core.batch_engine`.  ``"auto"`` (the default) picks ``batched``
+for the deterministic ``batch`` strategy and ``loop`` otherwise.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.api.estimator import Capabilities, SimRankEstimator, warn_deprecated_verb
+from repro.core.batch_engine import probe_trie_forest
 from repro.core.config import ProbeSimConfig
 from repro.core.probe import (
     frontier_edge_budget,
@@ -45,7 +53,8 @@ from repro.core.randomized_probe import (
 )
 from repro.core.results import SimRankResult
 from repro.core.tree import ReachabilityTree
-from repro.core.walks import sample_walk_batch
+from repro.core.walk_trie import WalkTrie
+from repro.core.walks import sample_walk_arrays, sample_walk_batch
 from repro.errors import QueryError
 from repro.graph.csr import CSRGraph, as_csr
 from repro.utils.rng import as_generator
@@ -119,27 +128,20 @@ class ProbeSim(SimRankEstimator):
     def capabilities(self) -> Capabilities:
         """Approximate, index-free, dynamic-friendly (O(m) sync)."""
         return Capabilities(
-            method=f"probesim-{self.config.strategy}",
+            method=self._method_label(),
             exact=False,
             index_based=False,
             supports_dynamic=True,
+            vectorized=self.config.resolved_engine() == "batched",
         )
 
     def single_source(self, query: int) -> SimRankResult:
         """Approximate single-source query (Definition 1) from ``query``."""
         self._check_query(query)
-        cfg = self.config
         stats = QueryStats()
         timer = Timer()
         with timer:
-            estimates = self._run(query, stats)
-            estimates[query] = 1.0
-            if cfg.compensate_truncation and cfg.prune:
-                # Truncation bias is one-sided (estimates undershoot by up to
-                # eps_t); recentring halves its worst case (§4.1).
-                compensation = cfg.budget.eps_t / 2.0
-                estimates += compensation
-                estimates[query] = 1.0
+            estimates = self._finalize(self._run(query, stats), query)
         stats.elapsed = timer.elapsed
         self.last_stats = stats
         return SimRankResult(
@@ -147,17 +149,52 @@ class ProbeSim(SimRankEstimator):
             scores=estimates,
             num_walks=stats.num_walks,
             elapsed=timer.elapsed,
-            method=f"probesim-{cfg.strategy}",
+            method=self._method_label(),
         )
 
-    # topk() and single_source_many() are inherited from SimRankEstimator:
-    # top-k sorts the single-source estimates (Definition 2), batches loop.
+    def single_source_many(self, queries) -> list[SimRankResult]:
+        """Batch single-source queries; the batched engine shares one sweep.
+
+        On the loop engine this is the protocol's query loop.  On the
+        batched engine all queries' walks are sampled first (consuming the
+        RNG stream in the same order a loop would) and their prefix tries
+        are probed as one *forest* in a single level-synchronous sweep —
+        every trie level transition of every query shares the same sparse
+        matmul.  Results are bit-identical to looping :meth:`single_source`
+        because forest columns never mix across queries.
+        """
+        queries = list(queries)
+        if self.config.resolved_engine() != "batched" or len(queries) <= 1:
+            return super().single_source_many(queries)
+        return self._run_batched_many(queries)
+
+    # topk() is inherited from SimRankEstimator: it sorts the single-source
+    # estimates (Definition 2), so batched top-k rides the same hot path.
 
     # ------------------------------------------------------------------ #
     # strategy dispatch
     # ------------------------------------------------------------------ #
 
+    def _method_label(self) -> str:
+        """Result/capability label: strategy, or the explicit batched engine."""
+        if self.config.engine == "batched":
+            return "probesim-batched"
+        return f"probesim-{self.config.strategy}"
+
+    def _finalize(self, estimates: np.ndarray, query: int) -> np.ndarray:
+        """Pin s(q, q) = 1 and apply the §4.1 truncation compensation."""
+        cfg = self.config
+        estimates[query] = 1.0
+        if cfg.compensate_truncation and cfg.prune:
+            # Truncation bias is one-sided (estimates undershoot by up to
+            # eps_t); recentring halves its worst case (§4.1).
+            estimates += cfg.budget.eps_t / 2.0
+            estimates[query] = 1.0
+        return estimates
+
     def _run(self, query: int, stats: QueryStats) -> np.ndarray:
+        if self.config.resolved_engine() == "batched":
+            return self._run_batched_engine(query, stats)
         strategy = self.config.strategy
         walks = self._sample_walks(query, stats)
         if strategy == "basic":
@@ -169,6 +206,97 @@ class ProbeSim(SimRankEstimator):
         if strategy == "hybrid":
             return self._run_batch(walks, stats, hybrid=True)
         raise QueryError(f"unknown strategy {strategy!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # batched trie-sharing engine (repro.core.batch_engine)
+    # ------------------------------------------------------------------ #
+
+    def _sample_trie(self, query: int, stats: QueryStats) -> WalkTrie:
+        """Sample this query's walk batch straight into a prefix trie."""
+        cfg = self.config
+        nodes, lengths = sample_walk_arrays(
+            self._csr,
+            query,
+            cfg.walk_count(self._csr.num_nodes),
+            cfg.sqrt_c,
+            self._rng,
+            max_length=cfg.walk_truncation(),
+        )
+        trie = WalkTrie.from_walk_arrays(nodes, lengths)
+        stats.num_walks += trie.num_walks
+        stats.walk_length_total += int(lengths.sum())
+        stats.num_tree_nodes += trie.num_tree_nodes
+        stats.num_probes += trie.num_tree_nodes  # one shared probe per prefix
+        return trie
+
+    def _run_batched_engine(self, query: int, stats: QueryStats) -> np.ndarray:
+        # eps_p stays 0: Pruning rule 2 exists to save per-probe work, and
+        # the dense level sweep has none to save — skipping it is strictly
+        # more accurate at identical cost (rule 1 truncation still applies).
+        trie = self._sample_trie(query, stats)
+        acc = probe_trie_forest(self._csr, [trie], self.config.sqrt_c)[:, 0]
+        acc /= trie.num_walks
+        return acc
+
+    #: dense cells (n x columns) a single forest sweep may hold in flight;
+    #: ~32 MB of float64 — big enough to fuse whole service batches on small
+    #: graphs, small enough that wide levels never thrash memory on large ones.
+    FOREST_CELL_BUDGET = 4_000_000
+
+    def _forest_chunks(self, tries) -> list[tuple[int, int]]:
+        """Split a forest into contiguous chunks bounded by the cell budget.
+
+        Kernel columns never interact across tries, so chunking changes
+        nothing but peak memory: results are bit-identical for any split.
+        """
+        max_columns = max(1, self.FOREST_CELL_BUDGET // max(self._csr.num_nodes, 1))
+        chunks: list[tuple[int, int]] = []
+        begin, width = 0, 0
+        for i, trie in enumerate(tries):
+            trie_width = max((len(level) for level in trie.levels), default=1)
+            if i > begin and width + trie_width > max_columns:
+                chunks.append((begin, i))
+                begin, width = i, 0
+            width += trie_width
+        chunks.append((begin, len(tries)))
+        return chunks
+
+    def _run_batched_many(self, queries: list[int]) -> list[SimRankResult]:
+        """One forest sweep over every query's trie (the serving hot path)."""
+        for query in queries:
+            self._check_query(query)
+        cfg = self.config
+        timer = Timer()
+        with timer:
+            per_query_stats = [QueryStats() for _ in queries]
+            tries = [
+                self._sample_trie(query, stats)
+                for query, stats in zip(queries, per_query_stats)
+            ]
+            accumulators = np.empty((self._csr.num_nodes, len(tries)))
+            for begin, end in self._forest_chunks(tries):
+                accumulators[:, begin:end] = probe_trie_forest(
+                    self._csr, tries[begin:end], cfg.sqrt_c
+                )
+        elapsed_each = timer.elapsed / len(queries)  # amortized batch cost
+        results = []
+        for column, (query, trie, stats) in enumerate(
+            zip(queries, tries, per_query_stats)
+        ):
+            estimates = accumulators[:, column] / trie.num_walks
+            estimates = self._finalize(estimates, query)
+            stats.elapsed = elapsed_each
+            results.append(
+                SimRankResult(
+                    query=query,
+                    scores=estimates,
+                    num_walks=stats.num_walks,
+                    elapsed=elapsed_each,
+                    method=self._method_label(),
+                )
+            )
+        self.last_stats = per_query_stats[-1]
+        return results
 
     def _sample_walks(self, query: int, stats: QueryStats) -> list[list[int]]:
         cfg = self.config

@@ -75,31 +75,37 @@ def sample_sqrt_c_walk(
     return walk
 
 
-def sample_walk_batch(
+def sample_walk_arrays(
     graph: CSRGraph,
     start: int,
     count: int,
     sqrt_c: float,
     rng: np.random.Generator | None = None,
     max_length: int | None = None,
-) -> list[list[int]]:
-    """Sample ``count`` independent √c-walks from ``start``.
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``count`` independent √c-walks into padded numpy arrays.
 
-    Semantically identical to calling :func:`sample_sqrt_c_walk` in a loop;
-    on a :class:`CSRGraph` the stepping is vectorised across all still-alive
-    walks, which is what makes the theoretical walk counts (thousands of
-    walks) affordable in Python.
+    Returns ``(nodes, lengths)`` where ``nodes`` is an int32 array of shape
+    ``(count, max_observed_length)`` padded with ``-1`` past each walk's end,
+    and ``lengths[i]`` is the node count of walk ``i`` (at least 1 — every
+    walk contains ``start``).  Walk ``i`` is ``nodes[i, :lengths[i]]``.
+
+    This is the canonical sampler: :func:`sample_walk_batch` and the batched
+    trie-sharing engine both draw through it, consuming the RNG stream in
+    exactly the same order, so a fixed seed yields bit-identical walk sets no
+    matter which engine runs the probes.  The caller owns the generator —
+    pass one ``Generator`` and thread it through the whole batch; re-seeding
+    per walk would correlate walks and break the variance analysis behind
+    Theorem 1's walk budget.
     """
     rng = as_generator(rng)
     if count <= 0:
-        return []
-    if not isinstance(graph, CSRGraph):
-        return [
-            sample_sqrt_c_walk(graph, start, sqrt_c, rng, max_length)
-            for _ in range(count)
-        ]
-
-    walks: list[list[int]] = [[start] for _ in range(count)]
+        return (
+            np.empty((0, 1), dtype=np.int32),
+            np.empty(0, dtype=np.int64),
+        )
+    lengths = np.ones(count, dtype=np.int64)
+    steps: list[tuple[np.ndarray, np.ndarray]] = []  # (walk ids, nodes) per level
     positions = np.full(count, start, dtype=np.int64)
     alive = np.ones(count, dtype=bool)
     length = 1
@@ -116,12 +122,46 @@ def sample_walk_batch(
         dead = nxt < 0
         alive[moving[dead]] = False
         moved = moving[~dead]
-        targets = nxt[~dead]
-        positions[moved] = targets
-        for walk_idx, node in zip(moved.tolist(), targets.tolist()):
-            walks[walk_idx].append(node)
+        if len(moved):
+            targets = nxt[~dead]
+            positions[moved] = targets
+            lengths[moved] += 1
+            steps.append((moved, targets))
         length += 1
-    return walks
+    nodes = np.full((count, int(lengths.max())), -1, dtype=np.int32)
+    nodes[:, 0] = start
+    for level, (moved, targets) in enumerate(steps, start=1):
+        nodes[moved, level] = targets
+    return nodes, lengths
+
+
+def sample_walk_batch(
+    graph: CSRGraph,
+    start: int,
+    count: int,
+    sqrt_c: float,
+    rng: np.random.Generator | None = None,
+    max_length: int | None = None,
+) -> list[list[int]]:
+    """Sample ``count`` independent √c-walks from ``start``.
+
+    Semantically identical to calling :func:`sample_sqrt_c_walk` in a loop;
+    on a :class:`CSRGraph` the stepping is vectorised across all still-alive
+    walks (via :func:`sample_walk_arrays`), which is what makes the
+    theoretical walk counts (thousands of walks) affordable in Python.
+    """
+    rng = as_generator(rng)
+    if count <= 0:
+        return []
+    if not isinstance(graph, CSRGraph):
+        # One shared generator threads through every walk: the fallback loop
+        # must never re-seed per walk (walks would correlate).
+        return [
+            sample_sqrt_c_walk(graph, start, sqrt_c, rng, max_length)
+            for _ in range(count)
+        ]
+    nodes, lengths = sample_walk_arrays(graph, start, count, sqrt_c, rng, max_length)
+    return [nodes[i, : lengths[i]].tolist() for i in range(count)]
 
 
 def expected_walk_length(sqrt_c: float) -> float:

@@ -122,3 +122,55 @@ class TestSampleWalkBatch:
     def test_digraph_fallback(self, toy, rng):
         walks = sample_walk_batch(toy, 0, 10, 0.5, rng)
         assert len(walks) == 10
+
+
+class TestDeterminism:
+    """One seeded Generator threads the whole batch: same seed, same walks —
+    the contract both execution engines build their equivalence on."""
+
+    def test_arrays_and_lists_share_one_rng_stream(self, toy_csr):
+        from repro.core.walks import sample_walk_arrays
+
+        nodes, lengths = sample_walk_arrays(
+            toy_csr, 0, 250, 0.7, np.random.default_rng(42), max_length=7
+        )
+        walks = sample_walk_batch(
+            toy_csr, 0, 250, 0.7, np.random.default_rng(42), max_length=7
+        )
+        assert [nodes[i, : lengths[i]].tolist() for i in range(250)] == walks
+        assert nodes.dtype == np.int32
+        # padding is strictly -1 beyond each walk's end
+        for i in range(250):
+            assert np.all(nodes[i, lengths[i]:] == -1)
+
+    def test_same_seed_identical_walks_across_engines(self, tiny_wiki):
+        """Loop and batched engines consume the RNG identically, so a fixed
+        seed pins one walk multiset regardless of engine (the precondition
+        of the golden-equivalence suite)."""
+        from repro import ProbeSim
+        from repro.core.engine import QueryStats
+
+        loop = ProbeSim(tiny_wiki, strategy="batch", engine="loop",
+                        eps_a=0.15, seed=77, num_walks=300)
+        batched = ProbeSim(tiny_wiki, strategy="batch", engine="batched",
+                           eps_a=0.15, seed=77, num_walks=300)
+        loop_walks = loop._sample_walks(9, QueryStats())
+        trie = batched._sample_trie(9, QueryStats())
+        from repro.core.walk_trie import WalkTrie
+
+        assert dict(
+            (tuple(p), w) for p, w in WalkTrie.from_walks(loop_walks).iter_prefixes()
+        ) == dict((tuple(p), w) for p, w in trie.iter_prefixes())
+
+    def test_reseeding_per_walk_would_correlate(self, cycle_csr):
+        """Anti-regression for the shared-generator fix: re-seeding per walk
+        collapses the batch onto one trajectory, which is exactly what
+        threading a single Generator prevents."""
+        shared_rng = np.random.default_rng(5)
+        threaded = sample_walk_batch(cycle_csr, 0, 50, 0.9, shared_rng, 12)
+        reseeded = [
+            sample_sqrt_c_walk(cycle_csr, 0, 0.9, np.random.default_rng(5), 12)
+            for _ in range(50)
+        ]
+        assert len({tuple(w) for w in reseeded}) == 1  # all identical: broken
+        assert len({tuple(w) for w in threaded}) > 1  # independent: correct

@@ -85,6 +85,55 @@ class TestGuaranteeRate:
         assert within_half >= 8
 
 
+class TestEngineGuaranteeRegression:
+    """Seeded regression: the Chernoff-derived walk budget keeps the
+    empirical max error within eps_a at the configured delta — on the loop
+    *and* the batched trie-sharing engine.  Seeds are fixed, so any future
+    change to walk sampling, trie sharing or pruning that breaks the
+    (eps_a, delta) guarantee fails this test deterministically."""
+
+    EPS_A = 0.1
+    DELTA = 0.2
+    SEEDS = range(30)
+
+    @pytest.mark.parametrize("engine", ["loop", "batched"])
+    def test_chernoff_budget_holds_on_toy(self, toy, toy_truth, engine):
+        query = 0
+        truth = toy_truth.single_source(query)
+        failures = 0
+        for seed in self.SEEDS:
+            probe = ProbeSim(
+                toy, c=TOY_DECAY, eps_a=self.EPS_A, delta=self.DELTA,
+                strategy="batch", engine=engine, seed=seed,
+            )
+            err = abs_error_max(probe.single_source(query).scores, truth, query)
+            failures += err > self.EPS_A
+        assert failures / len(self.SEEDS) <= self.DELTA
+
+    def test_engines_share_one_walk_budget(self, toy):
+        """Both engines size the batch from the same Theorem 1 bound —
+        batching changes execution, never the statistical contract."""
+        loop = ProbeSim(toy, c=TOY_DECAY, eps_a=self.EPS_A, delta=self.DELTA,
+                        strategy="batch", engine="loop", seed=0)
+        batched = ProbeSim(toy, c=TOY_DECAY, eps_a=self.EPS_A, delta=self.DELTA,
+                           strategy="batch", engine="batched", seed=0)
+        assert (
+            loop.single_source(0).num_walks == batched.single_source(0).num_walks
+        )
+
+    @pytest.mark.parametrize("engine", ["loop", "batched"])
+    def test_batched_queries_keep_the_guarantee(self, toy, toy_truth, engine):
+        """single_source_many answers carry the same per-query guarantee."""
+        queries = [0, 2, 5]
+        probe = ProbeSim(
+            toy, c=TOY_DECAY, eps_a=self.EPS_A, delta=0.05,
+            strategy="batch", engine=engine, seed=1234,
+        )
+        for result in probe.single_source_many(queries):
+            truth = toy_truth.single_source(result.query)
+            assert abs_error_max(result.scores, truth, result.query) <= self.EPS_A
+
+
 class TestConvergenceRate:
     def test_error_shrinks_with_walk_count(self, toy, toy_truth):
         """Monte Carlo scaling: quadrupling walks should roughly halve the
