@@ -29,6 +29,7 @@ from repro.core import ProbeSim, ProbeSimConfig, SimRankResult, TopKResult
 from repro.errors import ReproError
 from repro.extensions import AdaptiveTopK, WalkIndex
 from repro.graph import CSRGraph, DiGraph
+from repro.workloads import WorkloadConfig, WorkloadTrace, generate_workload, run_workload
 
 __version__ = "1.0.0"
 
@@ -50,5 +51,9 @@ __all__ = [
     "TopKResult",
     "TopSim",
     "WalkIndex",
+    "WorkloadConfig",
+    "WorkloadTrace",
     "__version__",
+    "generate_workload",
+    "run_workload",
 ]

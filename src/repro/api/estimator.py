@@ -168,15 +168,31 @@ class SimRankEstimator(abc.ABC):
         return NotImplemented
 
 
+#: the release in which the deprecated maintenance verbs will be removed.
+DEPRECATED_VERB_REMOVAL = "2.0"
+
+
 def warn_deprecated_verb(owner: str, old: str, new: str = "sync") -> None:
     """Emit the standard :class:`DeprecationWarning` for a renamed verb.
 
     Used by the thin ``refresh()`` / ``rebuild()`` aliases kept for backward
-    compatibility; ``stacklevel=3`` points the warning at the caller of the
-    deprecated method, not at the alias body.
+    compatibility.  The message names both the replacement verb and the
+    release that removes the alias (``DEPRECATED_VERB_REMOVAL``), so callers
+    can migrate from the warning alone; ``stacklevel=3`` points the warning
+    at the caller of the deprecated method, not at the alias body.
+
+    Parameters
+    ----------
+    owner:
+        Class name the alias lives on (e.g. ``"ProbeSim"``).
+    old:
+        The deprecated verb name, without parentheses.
+    new:
+        The replacement verb name (default ``"sync"``).
     """
     warnings.warn(
-        f"{owner}.{old}() is deprecated; use {owner}.{new}() instead",
+        f"{owner}.{old}() is deprecated and will be removed in "
+        f"{DEPRECATED_VERB_REMOVAL}; use {owner}.{new}() instead",
         DeprecationWarning,
         stacklevel=3,
     )

@@ -29,7 +29,9 @@ Updates
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+import time
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.api.estimator import SimRankEstimator
@@ -43,7 +45,14 @@ __all__ = ["ServiceStats", "SimRankService"]
 
 @dataclass
 class ServiceStats:
-    """Operational counters of one :class:`SimRankService` instance."""
+    """Operational counters of one :class:`SimRankService` instance.
+
+    ``maintenance_seconds`` accumulates wall-clock maintenance cost *per
+    mounted method name* — incremental notification time and sync time both
+    land there, so a workload driver can charge each estimator its own
+    index-upkeep bill (the comparison the paper's dynamic argument is
+    about).
+    """
 
     queries: int = 0
     batches: int = 0
@@ -52,11 +61,23 @@ class ServiceStats:
     updates_applied: int = 0
     syncs: int = 0
     incremental_notifications: int = 0
+    maintenance_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def batch_dedup_saved(self) -> int:
         """Queries answered from a batch-mate's result instead of recomputed."""
         return self.batched_queries - self.batched_unique
+
+    @property
+    def total_maintenance_seconds(self) -> float:
+        """Maintenance wall-clock summed over every mounted method."""
+        return sum(self.maintenance_seconds.values())
+
+    def charge_maintenance(self, method: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of maintenance against ``method``."""
+        self.maintenance_seconds[method] = (
+            self.maintenance_seconds.get(method, 0.0) + seconds
+        )
 
     def as_row(self) -> dict[str, object]:
         """Flat dict row for table rendering."""
@@ -66,6 +87,7 @@ class ServiceStats:
             "dedup_saved": self.batch_dedup_saved,
             "updates": self.updates_applied,
             "syncs": self.syncs,
+            "maintenance_s": self.total_maintenance_seconds,
         }
 
 
@@ -96,6 +118,24 @@ class SimRankService:
         When True (default), :meth:`apply_edges` immediately syncs every
         non-incremental estimator; when False, estimators are marked stale
         and synced on the next explicit :meth:`sync`.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``configs`` names a method not in ``methods``, or
+        ``default_method`` is not mounted.
+
+    Thread model
+    ------------
+    Query calls (:meth:`single_source`, :meth:`topk`,
+    :meth:`single_source_many`, :meth:`topk_many`) may run concurrently from
+    multiple threads *as long as each mounted estimator is only driven by
+    one thread at a time* — estimators own mutable RNG/scratch state, so
+    mount one replica per worker (``add_method(name, alias=...)``) as the
+    workload driver does.  Mutations (:meth:`apply_edges`,
+    :meth:`apply_update_stream`, :meth:`sync`, :meth:`add_method`) must not
+    run concurrently with queries.  The stats counters themselves are
+    guarded by an internal lock, so concurrent queries never lose counts.
     """
 
     def __init__(
@@ -111,6 +151,7 @@ class SimRankService:
         self._default: str | None = None
         self.auto_sync = auto_sync
         self.stats = ServiceStats()
+        self._stats_lock = threading.Lock()
         self._stale: set[str] = set()
         configs = configs or {}
         unknown = sorted(set(configs) - set(methods))
@@ -147,7 +188,15 @@ class SimRankService:
 
         ``alias`` stores the estimator under a different service-local name,
         so the same registry method can be mounted twice with different
-        configurations.  Returns the new estimator.
+        configurations (the workload driver mounts one replica per worker
+        this way).  Returns the new estimator.
+
+        Raises
+        ------
+        ConfigurationError
+            If the service already has a method under that name/alias, the
+            registry does not know ``name``, or ``config`` contains keys the
+            method's factory does not accept.
         """
         key = alias or name
         if key in self._estimators:
@@ -159,7 +208,13 @@ class SimRankService:
         return estimator
 
     def estimator(self, method: str | None = None) -> SimRankEstimator:
-        """The estimator serving ``method`` (default method when None)."""
+        """The estimator serving ``method`` (default method when None).
+
+        Raises
+        ------
+        ConfigurationError
+            If no methods are mounted, or ``method`` names none of them.
+        """
         key = method or self._default
         if key is None:
             raise ConfigurationError("service has no methods registered")
@@ -179,15 +234,27 @@ class SimRankService:
     # ------------------------------------------------------------------ #
 
     def single_source(self, query: int, method: str | None = None):
-        """One single-source query via the selected method."""
+        """One single-source query via the selected method.
+
+        Returns a :class:`~repro.core.results.SimRankResult`; raises
+        :class:`ConfigurationError` for an unknown ``method`` and
+        :class:`QueryError` for an invalid ``query``.
+        """
         estimator = self.estimator(method)
-        self.stats.queries += 1
+        with self._stats_lock:
+            self.stats.queries += 1
         return estimator.single_source(query)
 
     def topk(self, query: int, k: int, method: str | None = None):
-        """One top-k query via the selected method."""
+        """One top-k query via the selected method.
+
+        Returns a :class:`~repro.core.results.TopKResult`; raises
+        :class:`ConfigurationError` for an unknown ``method`` and
+        :class:`QueryError` for invalid ``query``/``k``.
+        """
         estimator = self.estimator(method)
-        self.stats.queries += 1
+        with self._stats_lock:
+            self.stats.queries += 1
         return estimator.topk(query, k)
 
     def single_source_many(
@@ -205,16 +272,23 @@ class SimRankService:
         distinct = list(dict.fromkeys(batch))
         results = estimator.single_source_many(distinct)
         by_query = dict(zip(distinct, results))
-        self.stats.queries += len(batch)
-        self.stats.batches += 1
-        self.stats.batched_queries += len(batch)
-        self.stats.batched_unique += len(distinct)
+        with self._stats_lock:
+            self.stats.queries += len(batch)
+            self.stats.batches += 1
+            self.stats.batched_queries += len(batch)
+            self.stats.batched_unique += len(distinct)
         return [by_query[query] for query in batch]
 
     def topk_many(
         self, queries: Sequence[int], k: int, method: str | None = None
     ) -> list:
-        """Batched top-k: the top-k views of :meth:`single_source_many`."""
+        """Batched top-k: the top-k views of :meth:`single_source_many`.
+
+        Raises
+        ------
+        QueryError
+            If ``k`` is not positive, or a query id is not an int.
+        """
         if k <= 0:
             raise QueryError(f"k must be positive, got {k}")
         return [result.topk(k) for result in self.single_source_many(queries, method)]
@@ -232,7 +306,8 @@ class SimRankService:
 
         Returns the number of updates applied.  Insertions are applied before
         deletions in the order given; use :meth:`apply_update_stream` for an
-        interleaved sequence.
+        interleaved sequence.  Raises as :meth:`apply_update_stream` does
+        (frozen graph, duplicate insert, delete of a missing edge).
         """
         updates = [EdgeUpdate("insert", int(s), int(t)) for s, t in added]
         updates += [EdgeUpdate("delete", int(s), int(t)) for s, t in removed]
@@ -245,6 +320,27 @@ class SimRankService:
         notified per update (their maintenance reads the post-update graph).
         Non-incremental estimators are synced once after the whole stream —
         immediately under ``auto_sync``, otherwise on the next :meth:`sync`.
+        Notification and sync wall-clock is charged per method into
+        ``stats.maintenance_seconds``.
+
+        Returns
+        -------
+        int
+            The number of updates applied to the graph.  On a mid-stream
+            failure (an invalid update, or an estimator raising during
+            notification) the count of *applied* updates is still recorded
+            in ``stats.updates_applied`` and bulk estimators are still
+            synced (or marked stale), so graph and estimators stay
+            consistent; the exception then propagates.
+
+        Raises
+        ------
+        ConfigurationError
+            If the service owns a frozen (non-:class:`DiGraph`) snapshot.
+        GraphError
+            If an update is invalid against the current graph state (e.g.
+            duplicate insert, delete of a missing edge).  The graph is left
+            exactly as of the last valid update.
         """
         if not isinstance(self._graph, DiGraph):
             raise ConfigurationError(
@@ -269,8 +365,12 @@ class SimRankService:
                 # sync rather than leave bulk estimators silently stale
                 self._stale.update(bulk)
                 count += 1
-                for _, est in incremental:
+                for name, est in incremental:
+                    started = time.perf_counter()
                     est.apply_updates([update])
+                    self.stats.charge_maintenance(
+                        name, time.perf_counter() - started
+                    )
                     self.stats.incremental_notifications += 1
         finally:
             self.stats.updates_applied += count
@@ -279,9 +379,16 @@ class SimRankService:
         return count
 
     def sync(self) -> None:
-        """Flush deferred maintenance: sync every stale estimator."""
+        """Flush deferred maintenance: sync every stale estimator.
+
+        Sync wall-clock is charged per method into
+        ``stats.maintenance_seconds``.  Idempotent: a second call with no
+        intervening updates does nothing.
+        """
         for name in sorted(self._stale):
+            started = time.perf_counter()
             self._estimators[name].sync()
+            self.stats.charge_maintenance(name, time.perf_counter() - started)
             self.stats.syncs += 1
         self._stale.clear()
 

@@ -8,7 +8,12 @@ Subcommands
 ``topk``
     Run an approximate top-k query.
 ``methods``
-    List every registered query method with its capabilities.
+    List every registered query method with its capabilities (``--markdown``
+    emits the README's auto-generated table).
+``workload``
+    Generate a mixed query/update trace and replay it against one or more
+    methods, printing latency percentiles / QPS / maintenance cost
+    (optionally persisting the full JSON report with ``--json``).
 ``stats``
     Print Table 3-style statistics for an edge-list graph.
 ``dataset``
@@ -27,6 +32,8 @@ Examples
     python -m repro methods
     python -m repro topk /tmp/wv.txt --query 5 --k 10 --eps-a 0.1 --seed 7
     python -m repro single-source /tmp/wv.txt --query 5 --method mc --num-walks 500
+    python -m repro workload /tmp/wv.txt --methods probesim-batched,tsf \\
+        --ops 400 --read-fraction 0.9 --workers 2 --seed 7 --json /tmp/wl.json
 """
 
 from __future__ import annotations
@@ -37,7 +44,7 @@ import sys
 from repro.api.registry import capability_rows, create, get_entry, method_names
 from repro.datasets import DATASETS, load_dataset
 from repro.errors import ReproError
-from repro.eval.reporting import format_table
+from repro.eval.reporting import format_table, markdown_table, write_json_report
 from repro.graph import compute_stats, read_edge_list, write_edge_list
 
 METHODS = tuple(method_names())
@@ -136,20 +143,85 @@ def _cmd_topk(args) -> int:
     return 0
 
 
-def _cmd_methods(args) -> int:
-    rows = [
-        {
-            "method": row["name"],
+def methods_table_rows(markdown: bool = False) -> list[dict[str, str]]:
+    """Registry-derived rows of the methods table (CLI + README generator).
+
+    One row per registered method: name, the five capability flags as
+    yes/no strings, and the summary.  The ``markdown`` variant additionally
+    carries the accepted config keys and wraps identifiers in backticks —
+    that is the exact row set the README sync tool
+    (``tools/update_readme_methods.py``) and its guard test embed, so the
+    README can never drift from the registry.  The plain variant stays
+    terminal-width-friendly for ``repro methods``.
+    """
+    rows = []
+    for row in capability_rows():
+        name = str(row["name"])
+        rendered = {
+            "method": f"`{name}`" if markdown else name,
             "exact": "yes" if row["exact"] else "no",
             "index": "yes" if row["index"] else "no",
             "dynamic": "yes" if row["dynamic"] else "no",
             "incremental": "yes" if row["incremental"] else "no",
             "vectorized": "yes" if row["vectorized"] else "no",
-            "summary": row["summary"],
         }
-        for row in capability_rows()
-    ]
-    print(format_table(rows, title="registered SimRank methods"))
+        if markdown:
+            rendered["config keys"] = ", ".join(
+                f"`{key}`" for key in sorted(get_entry(name).config_keys)
+            )
+        rendered["summary"] = str(row["summary"])
+        rows.append(rendered)
+    return rows
+
+
+def _cmd_methods(args) -> int:
+    if getattr(args, "markdown", False):
+        print(markdown_table(methods_table_rows(markdown=True)))
+    else:
+        print(format_table(methods_table_rows(), title="registered SimRank methods"))
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    from repro.workloads import generate_workload, run_workload
+
+    graph = read_edge_list(args.graph)
+    methods = [name.strip() for name in args.methods.split(",") if name.strip()]
+    trace = generate_workload(
+        graph,
+        num_ops=args.ops,
+        read_fraction=args.read_fraction,
+        zipf_s=args.zipf,
+        insert_fraction=args.insert_fraction,
+        max_query_batch=args.query_batch,
+        max_update_batch=args.update_batch,
+        seed=args.seed,
+    )
+    configs = {}
+    shared = {
+        "c": args.c, "eps_a": args.eps_a, "delta": args.delta, "seed": args.seed,
+        "num_walks": args.num_walks, "depth": args.depth, "rg": args.rg,
+        "rq": args.rq, "theta": args.theta,
+    }
+    for name in methods:
+        keys = get_entry(name).config_keys
+        configs[name] = {
+            key: value for key, value in shared.items()
+            if key in keys and value is not None
+        }
+    result = run_workload(
+        graph, trace, methods, configs=configs,
+        workers=args.workers, sync_every=args.sync_every,
+    )
+    print(format_table(
+        result.rows(),
+        title=(f"workload: {trace.num_queries} queries / {trace.num_updates} "
+               f"updates, read_fraction={args.read_fraction}, "
+               f"workers={args.workers}"),
+    ))
+    if args.json:
+        path = write_json_report(args.json, result.to_dict())
+        print(f"wrote JSON report to {path}")
     return 0
 
 
@@ -187,7 +259,49 @@ def build_parser() -> argparse.ArgumentParser:
     topk.set_defaults(func=_cmd_topk)
 
     methods = sub.add_parser("methods", help="list registered methods + capabilities")
+    methods.add_argument("--markdown", action="store_true",
+                         help="emit the table as GitHub markdown (README format)")
     methods.set_defaults(func=_cmd_methods)
+
+    workload = sub.add_parser(
+        "workload",
+        help="replay a mixed query/update workload and report latency/QPS",
+    )
+    workload.add_argument("graph", help="edge-list file (SNAP format, .gz ok)")
+    workload.add_argument("--methods", default="probesim-batched",
+                          help="comma-separated registry names to compare")
+    workload.add_argument("--ops", type=int, default=400,
+                          help="total operations (queries + updates) in the trace")
+    workload.add_argument("--read-fraction", type=float, default=0.9,
+                          dest="read_fraction",
+                          help="op-level probability an operation is a query")
+    workload.add_argument("--zipf", type=float, default=1.0,
+                          help="query-key Zipf skew exponent (0 = uniform)")
+    workload.add_argument("--insert-fraction", type=float, default=0.5,
+                          dest="insert_fraction",
+                          help="probability an edge update is an insertion")
+    workload.add_argument("--query-batch", type=int, default=8, dest="query_batch",
+                          help="max query arrival-batch size")
+    workload.add_argument("--update-batch", type=int, default=4, dest="update_batch",
+                          help="max update arrival-batch size")
+    workload.add_argument("--workers", type=int, default=1,
+                          help="query-side thread-pool width (one replica each)")
+    workload.add_argument("--sync-every", type=int, default=1, dest="sync_every",
+                          help="sync bulk estimators every N update batches")
+    workload.add_argument("--seed", type=int, default=None,
+                          help="trace + estimator seed (fixed seed => "
+                               "bit-reproducible results)")
+    workload.add_argument("--json", default=None,
+                          help="also write the full JSON report to this path")
+    workload.add_argument("--c", type=float, default=None, help="decay factor")
+    workload.add_argument("--eps-a", type=float, default=None, dest="eps_a")
+    workload.add_argument("--delta", type=float, default=None)
+    workload.add_argument("--num-walks", type=int, default=None, dest="num_walks")
+    workload.add_argument("--depth", type=int, default=None)
+    workload.add_argument("--rg", type=int, default=None, help="TSF one-way graphs")
+    workload.add_argument("--rq", type=int, default=None, help="TSF reuse count")
+    workload.add_argument("--theta", type=float, default=None, help="SLING threshold")
+    workload.set_defaults(func=_cmd_workload)
 
     stats = sub.add_parser("stats", help="print graph statistics")
     stats.add_argument("graph", help="edge-list file")

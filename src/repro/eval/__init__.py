@@ -12,7 +12,7 @@ from repro.eval.metrics import (
 )
 from repro.eval.pooling import PoolingEvaluation, pool_evaluate
 from repro.eval.queries import sample_query_nodes
-from repro.eval.reporting import format_table
+from repro.eval.reporting import format_table, markdown_table, write_json_report
 from repro.eval.runner import MethodSpec, SingleSourceOutcome, TopKOutcome, run_single_source, run_topk
 
 __all__ = [
@@ -26,10 +26,12 @@ __all__ = [
     "compute_ground_truth",
     "format_table",
     "kendall_tau",
+    "markdown_table",
     "ndcg_at_k",
     "pool_evaluate",
     "precision_at_k",
     "run_single_source",
     "run_topk",
     "sample_query_nodes",
+    "write_json_report",
 ]

@@ -1,12 +1,18 @@
-"""Plain-text table rendering for benchmark output.
+"""Table rendering and report persistence for benchmark/workload output.
 
 The benchmark harness prints the same rows/series the paper's tables and
-figures report; this module is the single place that formats them.
+figures report; this module is the single place that formats them — as
+aligned ASCII (:func:`format_table`), as GitHub markdown
+(:func:`markdown_table`, used for the README's auto-generated methods
+table), and as machine-readable JSON artifacts
+(:func:`write_json_report`, used by the dynamic-workload benchmark).
 """
 
 from __future__ import annotations
 
+import json
 from collections.abc import Iterable, Mapping
+from pathlib import Path
 
 
 def _format_value(value: object) -> str:
@@ -56,3 +62,57 @@ def format_table(
     for r in rendered:
         lines.append(" | ".join(cell.ljust(w) for cell, w in zip(r, widths)).rstrip())
     return "\n".join(lines)
+
+
+def markdown_table(
+    rows: Iterable[Mapping[str, object]],
+    columns: list[str] | None = None,
+) -> str:
+    """Render dict rows as a GitHub-flavoured markdown table.
+
+    Column order follows ``columns`` when given, else first-seen key order
+    across the rows (as in :func:`format_table`).  Cell values are
+    formatted with the same rules as the ASCII renderer, so the two views
+    of one result agree.
+
+    >>> print(markdown_table([{"a": 1, "b": True}]))
+    | a | b |
+    |---|---|
+    | 1 | yes |
+    """
+    rows = list(rows)
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_format_value(row.get(col, "")) for col in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
+def write_json_report(path, payload: Mapping[str, object]) -> Path:
+    """Persist one machine-readable experiment artifact as pretty JSON.
+
+    Parent directories are created as needed; the file is overwritten.
+    Returns the path written, for logging.
+
+    Raises
+    ------
+    TypeError
+        If ``payload`` contains values the JSON encoder cannot serialize
+        (reports should pre-flatten via their ``to_dict()`` methods).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

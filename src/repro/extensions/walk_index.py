@@ -51,6 +51,7 @@ class WalkIndex(SimRankEstimator):
         self._touched: dict[int, set[int]] = {}  # graph node -> cached query nodes
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     # ------------------------------------------------------------------ #
     # queries
@@ -66,8 +67,20 @@ class WalkIndex(SimRankEstimator):
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of queries served from a cached tree (0.0 before any query)."""
         total = self._hits + self._misses
         return self._hits / total if total else 0.0
+
+    @property
+    def evictions(self) -> int:
+        """Cached trees dropped by update invalidation (cumulative).
+
+        Under a mixed query/update workload this is the walk cache's
+        maintenance bill in kind: each eviction forces the next query on
+        that node to re-sample its walks.  ``invalidate_all`` counts every
+        tree it drops.
+        """
+        return self._evictions
 
     def warm(self, nodes) -> None:
         """Pre-sample walk trees for the given (expected hot) query nodes."""
@@ -141,6 +154,7 @@ class WalkIndex(SimRankEstimator):
 
     def invalidate_all(self) -> None:
         """Drop every cached tree (e.g. after bulk graph replacement)."""
+        self._evictions += len(self._trees)
         self._trees.clear()
         self._touched.clear()
         self._engine.sync()
@@ -187,12 +201,13 @@ class WalkIndex(SimRankEstimator):
         return tree
 
     def _evict(self, query: int) -> None:
-        self._trees.pop(query, None)
+        if self._trees.pop(query, None) is not None:
+            self._evictions += 1
         for queries in self._touched.values():
             queries.discard(query)
 
     def __repr__(self) -> str:
         return (
             f"WalkIndex(cached={self.num_cached}, hits={self._hits}, "
-            f"misses={self._misses})"
+            f"misses={self._misses}, evictions={self._evictions})"
         )

@@ -10,7 +10,14 @@ is just the graph itself, not a precomputed index).
 
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
-from repro.graph.dynamic import EdgeUpdate, UpdateStream, apply_update, generate_update_stream
+from repro.graph.dynamic import (
+    EdgeUpdate,
+    MutationSampler,
+    UpdateStream,
+    apply_update,
+    apply_stream,
+    generate_update_stream,
+)
 from repro.graph.generators import (
     chung_lu_graph,
     erdos_renyi_graph,
@@ -26,7 +33,9 @@ __all__ = [
     "DiGraph",
     "EdgeUpdate",
     "GraphStats",
+    "MutationSampler",
     "UpdateStream",
+    "apply_stream",
     "apply_update",
     "chung_lu_graph",
     "compute_stats",

@@ -64,6 +64,101 @@ class UpdateStream:
         )
 
 
+class MutationSampler:
+    """Stateful sampler of *valid* edge mutations against an evolving graph.
+
+    The sampler owns a scratch copy of ``graph`` (unless ``copy=False``) and
+    mutates it as updates are drawn, so every insert targets an absent edge
+    and every delete targets a present edge *at the moment it is sampled*.
+    This is the building block under both :func:`generate_update_stream`
+    (one homogeneous stream up front) and the workload generator in
+    :mod:`repro.workloads.generator`, which interleaves update draws with
+    query arrivals and therefore needs the evolving-graph state to persist
+    between draws.
+
+    Parameters
+    ----------
+    graph:
+        Starting graph.  Copied by default, so the caller's graph is never
+        modified; pass ``copy=False`` only when the caller hands over a
+        scratch graph it wants mutated in place.
+    insert_fraction:
+        Probability in ``[0, 1]`` that a draw is an insertion.  Deletions
+        fall back to insertions while the scratch graph has no edges.
+    seed:
+        Anything :func:`repro.utils.rng.as_generator` accepts; pass an
+        existing generator to share one RNG stream with the caller.
+
+    Raises
+    ------
+    GraphError
+        If ``graph`` has fewer than 2 nodes (no valid edge slot exists), or
+        ``insert_fraction`` is outside ``[0, 1]``.
+    """
+
+    def __init__(self, graph: DiGraph, insert_fraction: float = 0.5,
+                 seed=None, copy: bool = True) -> None:
+        check_fraction("insert_fraction", insert_fraction)
+        self._scratch = graph.copy() if copy else graph
+        if self._scratch.num_nodes < 2:
+            raise GraphError("need at least 2 nodes to generate updates")
+        self._insert_fraction = insert_fraction
+        self._rng = as_generator(seed)
+        self._edge_pool: list[tuple[int, int]] = list(self._scratch.edges())
+
+    @property
+    def graph(self) -> DiGraph:
+        """The evolving scratch graph (reflects every sampled update)."""
+        return self._scratch
+
+    def sample(self) -> EdgeUpdate:
+        """Draw one valid update and apply it to the scratch graph.
+
+        Returns
+        -------
+        EdgeUpdate
+            An insertion of a currently-absent edge or a deletion of a
+            currently-present edge.
+
+        Raises
+        ------
+        GraphError
+            If no absent edge slot is found after 100 attempts (the scratch
+            graph is nearly complete).
+        """
+        scratch, rng = self._scratch, self._rng
+        n = scratch.num_nodes
+        want_insert = rng.random() < self._insert_fraction or scratch.num_edges == 0
+        if want_insert:
+            for _ in range(100):
+                s = int(rng.integers(n))
+                t = int(rng.integers(n))
+                if s != t and not scratch.has_edge(s, t):
+                    scratch.add_edge(s, t)
+                    self._edge_pool.append((s, t))
+                    return EdgeUpdate("insert", s, t)
+            raise GraphError("could not find a free edge slot after 100 attempts")
+        edge_pool = self._edge_pool
+        while edge_pool:
+            idx = int(rng.integers(len(edge_pool)))
+            s, t = edge_pool[idx]
+            edge_pool[idx] = edge_pool[-1]
+            edge_pool.pop()
+            # the pool may hold edges already deleted by an earlier draw —
+            # skip those lazily instead of scanning the pool on every delete
+            if scratch.has_edge(s, t):
+                scratch.remove_edge(s, t)
+                return EdgeUpdate("delete", s, t)
+        # every pooled edge was stale; the scratch graph must be empty now,
+        # so fall back to an insertion (mirrors the want_insert guard above)
+        return self.sample()
+
+    def sample_many(self, count: int) -> list[EdgeUpdate]:
+        """Draw ``count`` updates in order (each applied to the scratch graph)."""
+        check_positive_int("count", count)
+        return [self.sample() for _ in range(count)]
+
+
 def generate_update_stream(
     graph: DiGraph,
     num_updates: int,
@@ -75,41 +170,32 @@ def generate_update_stream(
     The stream is generated against a scratch copy so that every insert is of
     an absent edge and every delete is of a present edge *at the moment it is
     applied in order*.  ``graph`` itself is not modified.
+
+    Parameters
+    ----------
+    graph:
+        Graph the stream must be valid against (not modified).
+    num_updates:
+        Stream length; must be positive.
+    insert_fraction:
+        Probability in ``[0, 1]`` that each update is an insertion.
+    seed:
+        Anything :func:`repro.utils.rng.as_generator` accepts.
+
+    Returns
+    -------
+    UpdateStream
+        ``num_updates`` operations, applicable to ``graph`` in order.
+
+    Raises
+    ------
+    GraphError
+        If ``graph`` has fewer than 2 nodes or the sampler cannot find a
+        free edge slot (see :meth:`MutationSampler.sample`).
     """
     check_positive_int("num_updates", num_updates)
-    check_fraction("insert_fraction", insert_fraction)
-    rng = as_generator(seed)
-    scratch = graph.copy()
-    n = scratch.num_nodes
-    if n < 2:
-        raise GraphError("need at least 2 nodes to generate updates")
-
-    updates: list[EdgeUpdate] = []
-    edge_pool: list[tuple[int, int]] = list(scratch.edges())
-    while len(updates) < num_updates:
-        want_insert = rng.random() < insert_fraction or scratch.num_edges == 0
-        if want_insert:
-            for _ in range(100):
-                s = int(rng.integers(n))
-                t = int(rng.integers(n))
-                if s != t and not scratch.has_edge(s, t):
-                    scratch.add_edge(s, t)
-                    edge_pool.append((s, t))
-                    updates.append(EdgeUpdate("insert", s, t))
-                    break
-            else:
-                raise GraphError("could not find a free edge slot after 100 attempts")
-        else:
-            while edge_pool:
-                idx = int(rng.integers(len(edge_pool)))
-                s, t = edge_pool[idx]
-                edge_pool[idx] = edge_pool[-1]
-                edge_pool.pop()
-                if scratch.has_edge(s, t):
-                    scratch.remove_edge(s, t)
-                    updates.append(EdgeUpdate("delete", s, t))
-                    break
-    return UpdateStream(updates)
+    sampler = MutationSampler(graph, insert_fraction=insert_fraction, seed=seed)
+    return UpdateStream(sampler.sample_many(num_updates))
 
 
 def apply_update(graph: DiGraph, update: EdgeUpdate) -> None:

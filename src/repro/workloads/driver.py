@@ -1,0 +1,322 @@
+"""Replay a workload trace against a :class:`~repro.api.service.SimRankService`.
+
+This is the heavy-traffic half of the paper's dynamic-graph experiment: one
+driver replays the *same* :class:`~repro.workloads.generator.WorkloadTrace`
+against each compared method and reports what a serving operator would
+measure — per-op latency percentiles, sustained QPS under interference from
+the update stream, maintenance cost, and read staleness.
+
+Execution model
+---------------
+Per method, the driver builds one service on a fresh copy of the graph and
+mounts ``workers`` *replicas* of the method (``alias=f"{method}#w{i}"``,
+each with a seed derived from the method seed), because estimators own
+mutable RNG/scratch state and must be driven by one thread at a time.  The
+trace is replayed batch by batch:
+
+- a **query batch** is split round-robin by position across the replicas
+  and executed on a thread pool (one task per replica; the batched engine's
+  sparse matmuls release the GIL, so replicas overlap);
+- an **update batch** is applied on the coordinator thread through
+  :meth:`~repro.api.service.SimRankService.apply_update_stream` — a batch
+  barrier separates updates from queries, which keeps replay deterministic.
+
+Reproducibility
+---------------
+Replica assignment is positional (not load-based) and each replica consumes
+its ops in trace order, so every replica's RNG stream is a pure function of
+``(trace, method config, workers)``.  The driver folds each result's score
+vector into a running digest in global op order; two runs with the same
+inputs produce bit-identical digests (asserted by the test suite), while
+wall-clock numbers of course vary.
+
+Staleness
+---------
+With ``sync_every=1`` (the default) non-incremental estimators re-sync
+after every update batch and reads are always fresh.  With
+``sync_every=k > 1`` the service defers syncs (``auto_sync=False``) and the
+driver flushes every ``k`` update batches — each query then records how
+many applied-but-unsynced updates its answer may be missing.  Methods with
+``capabilities().incremental_updates`` (TSF, the walk cache) are notified
+per update and never go stale.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from typing import Sequence
+
+import numpy as np
+
+from repro.api.registry import get_entry
+from repro.api.service import SimRankService
+from repro.errors import EvaluationError
+from repro.graph.digraph import DiGraph
+from repro.utils.validation import check_positive_int
+from repro.workloads.generator import WorkloadTrace
+from repro.workloads.stats import LatencyHistogram
+
+__all__ = ["MethodReport", "WorkloadResult", "run_workload"]
+
+
+@dataclass
+class MethodReport:
+    """Everything measured for one method over one trace replay.
+
+    All times are wall-clock seconds.  ``digest`` is the order-sensitive
+    hash of every query's score vector — the bit-reproducibility handle.
+    """
+
+    method: str
+    workers: int
+    sync_every: int
+    num_queries: int = 0
+    num_updates: int = 0
+    wall_seconds: float = 0.0
+    maintenance_seconds: float = 0.0
+    syncs: int = 0
+    incremental_notifications: int = 0
+    staleness_samples: list[int] = field(default_factory=list)
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    digest: str = ""
+
+    @property
+    def qps(self) -> float:
+        """Sustained queries/second over the whole replay (updates included
+        in the denominator — this is throughput *under interference*)."""
+        return self.num_queries / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def maintenance_per_update(self) -> float:
+        """Mean maintenance cost charged per applied update."""
+        return (
+            self.maintenance_seconds / self.num_updates if self.num_updates else 0.0
+        )
+
+    @property
+    def staleness_mean(self) -> float:
+        """Mean unsynced-updates-behind across all queries."""
+        return float(np.mean(self.staleness_samples)) if self.staleness_samples else 0.0
+
+    @property
+    def staleness_max(self) -> int:
+        """Worst unsynced-updates-behind any query observed."""
+        return int(max(self.staleness_samples)) if self.staleness_samples else 0
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict row for table rendering (times in milliseconds)."""
+        return {
+            "method": self.method,
+            "queries": self.num_queries,
+            "updates": self.num_updates,
+            "qps": self.qps,
+            "p50_ms": self.latency.percentile(50) * 1e3,
+            "p95_ms": self.latency.percentile(95) * 1e3,
+            "p99_ms": self.latency.percentile(99) * 1e3,
+            "maint_s": self.maintenance_seconds,
+            "maint_per_update_ms": self.maintenance_per_update * 1e3,
+            "stale_mean": self.staleness_mean,
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready dict (full latency histogram included)."""
+        return {
+            "method": self.method,
+            "workers": self.workers,
+            "sync_every": self.sync_every,
+            "num_queries": self.num_queries,
+            "num_updates": self.num_updates,
+            "wall_seconds": self.wall_seconds,
+            "qps": self.qps,
+            "latency": self.latency.to_dict(),
+            "maintenance_seconds": self.maintenance_seconds,
+            "maintenance_per_update_s": self.maintenance_per_update,
+            "syncs": self.syncs,
+            "incremental_notifications": self.incremental_notifications,
+            "staleness_mean": self.staleness_mean,
+            "staleness_max": self.staleness_max,
+            "digest": self.digest,
+        }
+
+
+@dataclass
+class WorkloadResult:
+    """One driver run: the trace's identity plus a report per method."""
+
+    trace_signature: str
+    trace_config: dict[str, object]
+    reports: list[MethodReport] = field(default_factory=list)
+
+    def rows(self) -> list[dict[str, object]]:
+        """Per-method table rows (for ``format_table``)."""
+        return [report.as_row() for report in self.reports]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready dict for :func:`repro.eval.reporting.write_json_report`."""
+        return {
+            "trace": {
+                "signature": self.trace_signature,
+                **self.trace_config,
+            },
+            "reports": [report.to_dict() for report in self.reports],
+        }
+
+
+def _derived_seed(config: dict, entry, worker: int) -> dict:
+    """Per-replica config: offset the seed so replica RNG streams differ
+    deterministically (replica ``i`` of any run draws the same stream)."""
+    config = dict(config)
+    if "seed" in entry.config_keys:
+        base = config.get("seed", 0) or 0
+        config["seed"] = int(base) + worker
+    return config
+
+
+def _replay_one(
+    graph: DiGraph,
+    trace: WorkloadTrace,
+    method: str,
+    config: dict,
+    workers: int,
+    sync_every: int,
+) -> MethodReport:
+    """Replay ``trace`` for one method; see the module docstring for the model."""
+    entry = get_entry(method)
+    service = SimRankService(graph.copy(), methods=(), auto_sync=sync_every == 1)
+    aliases = []
+    for worker in range(workers):
+        alias = f"{method}#w{worker}"
+        service.add_method(method, alias=alias, **_derived_seed(config, entry, worker))
+        aliases.append(alias)
+    incremental = service.capabilities(aliases[0]).incremental_updates
+
+    report = MethodReport(method=method, workers=workers, sync_every=sync_every)
+    digest = blake2b(digest_size=16)
+    unsynced_updates = 0
+    batches_since_sync = 0
+
+    def run_share(alias: str, share: list[tuple[int, int]]):
+        """One replica's slice of a query batch: (global op id, node) pairs.
+
+        Runs on a pool thread; touches only its own replica (plus the
+        service's lock-guarded counters).  Returns per-op records so the
+        coordinator can merge them back in deterministic global order.
+        """
+        records = []
+        for op_id, node in share:
+            started = time.perf_counter()
+            result = service.single_source(node, method=alias)
+            elapsed = time.perf_counter() - started
+            fingerprint = blake2b(
+                np.ascontiguousarray(result.scores).tobytes(), digest_size=16
+            ).digest()
+            records.append((op_id, node, elapsed, fingerprint))
+        return records
+
+    wall_started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        for batch in trace:
+            if batch.kind == "update":
+                service.apply_update_stream(batch.updates)
+                report.num_updates += len(batch.updates)
+                if sync_every > 1:
+                    unsynced_updates += len(batch.updates)
+                    batches_since_sync += 1
+                    if batches_since_sync >= sync_every:
+                        service.sync()
+                        unsynced_updates = 0
+                        batches_since_sync = 0
+                continue
+            ops = [(batch.offset + i, node) for i, node in enumerate(batch.queries)]
+            shares = [ops[w::workers] for w in range(workers)]
+            futures = [
+                pool.submit(run_share, aliases[w], shares[w])
+                for w in range(workers)
+                if shares[w]
+            ]
+            merged = [record for future in futures for record in future.result()]
+            merged.sort()  # deterministic global op order
+            for op_id, node, elapsed, fingerprint in merged:
+                digest.update(op_id.to_bytes(8, "little"))
+                digest.update(node.to_bytes(8, "little"))
+                digest.update(fingerprint)
+                report.latency.record(elapsed)
+                report.staleness_samples.append(0 if incremental else unsynced_updates)
+            report.num_queries += len(ops)
+    if sync_every > 1 and unsynced_updates:
+        service.sync()  # flush the tail so the service ends consistent
+    report.wall_seconds = time.perf_counter() - wall_started
+    report.maintenance_seconds = service.stats.total_maintenance_seconds
+    report.syncs = service.stats.syncs
+    report.incremental_notifications = service.stats.incremental_notifications
+    report.digest = digest.hexdigest()
+    return report
+
+
+def run_workload(
+    graph: DiGraph,
+    trace: WorkloadTrace,
+    methods: Sequence[str],
+    configs: dict[str, dict] | None = None,
+    workers: int = 1,
+    sync_every: int = 1,
+) -> WorkloadResult:
+    """Replay ``trace`` once per method and collect comparable reports.
+
+    Every method sees an identical workload: the replay starts from a fresh
+    copy of ``graph`` each time, and the trace (queries, updates, arrival
+    order) is fixed up front by the generator.
+
+    Parameters
+    ----------
+    graph:
+        Starting graph (not modified; each replay copies it).
+    trace:
+        The workload to replay (from
+        :func:`repro.workloads.generator.generate_workload`).
+    methods:
+        Registry names to compare (e.g. ``("probesim-batched", "tsf")``).
+    configs:
+        Optional per-method keyword configuration, ``{name: {key: value}}``.
+    workers:
+        Query-side thread-pool width; each worker drives its own estimator
+        replica.  Must be positive.
+    sync_every:
+        Sync non-incremental estimators every ``sync_every`` update batches.
+        ``1`` (default) syncs after every update batch (always-fresh reads);
+        larger values trade staleness for maintenance cost.
+
+    Returns
+    -------
+    WorkloadResult
+        One :class:`MethodReport` per method, in ``methods`` order.
+
+    Raises
+    ------
+    EvaluationError
+        If ``methods`` is empty or a config references an unknown method.
+    ConfigurationError
+        From the registry, for unknown method names or bad config keys.
+    """
+    check_positive_int("workers", workers)
+    check_positive_int("sync_every", sync_every)
+    if not methods:
+        raise EvaluationError("need at least one method to replay the workload")
+    configs = configs or {}
+    unknown = sorted(set(configs) - set(methods))
+    if unknown:
+        raise EvaluationError(f"configs given for methods not replayed: {unknown}")
+    result = WorkloadResult(
+        trace_signature=trace.signature(),
+        trace_config=trace.config.as_dict(),
+    )
+    for method in methods:
+        result.reports.append(
+            _replay_one(
+                graph, trace, method, configs.get(method, {}), workers, sync_every
+            )
+        )
+    return result

@@ -1,0 +1,292 @@
+"""Reproducible mixed query/update workload traces.
+
+The paper's dynamic-graph argument (§1, §6.5) is about *mixed* traffic: an
+index-free method keeps answering real-time queries while the graph churns,
+whereas index-based baselines pay maintenance between reads.  This module
+generates the traffic side of that experiment as a :class:`WorkloadTrace` —
+an ordered sequence of arrival batches, each either a batch of single-source
+queries or a batch of edge updates — with the knobs real serving traces have:
+
+- **read/write ratio** (``read_fraction``): the op-level probability that an
+  operation is a query rather than an edge update;
+- **key skew** (``zipf_s``): query nodes are drawn from a Zipf distribution
+  over the eligible nodes (``s = 0`` degenerates to uniform), so hot keys
+  repeat within and across batches — the shape that exercises the service's
+  batch deduplication;
+- **insert/delete mix** (``insert_fraction``): forwarded to
+  :class:`~repro.graph.dynamic.MutationSampler`, which keeps every update
+  valid against the evolving graph;
+- **batch arrival sizes** (``max_query_batch`` / ``max_update_batch``):
+  consecutive same-kind operations coalesce into one arrival batch, capped
+  at the configured maximum — so batch size never distorts the op-level
+  read/write ratio.
+
+Everything is drawn from one :class:`numpy.random.Generator`, so a trace is
+a pure function of ``(graph, config, seed)`` — replaying it twice gives the
+driver (:mod:`repro.workloads.driver`) bit-identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from hashlib import blake2b
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.graph.csr import as_csr
+from repro.graph.digraph import DiGraph
+from repro.graph.dynamic import EdgeUpdate, MutationSampler
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction, check_positive_int
+
+__all__ = ["TraceBatch", "WorkloadConfig", "WorkloadTrace", "generate_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of one generated workload (echoed into every report).
+
+    Parameters
+    ----------
+    num_ops:
+        Total operations (queries + updates) in the trace; must be positive.
+    read_fraction:
+        Op-level probability in ``[0, 1]`` that an operation is a query.
+    zipf_s:
+        Zipf skew exponent for query-node popularity; ``0.0`` is uniform,
+        ``~1.0`` is web-like skew.  Must be non-negative.
+    insert_fraction:
+        Probability in ``[0, 1]`` that an edge update is an insertion.
+    max_query_batch:
+        Largest query arrival-batch size (consecutive query ops coalesce up
+        to this cap).
+    max_update_batch:
+        Largest update arrival-batch size (consecutive update ops coalesce
+        up to this cap).
+    seed:
+        Trace seed; two generations with equal ``(graph, config)`` and equal
+        seeds produce identical traces.
+
+    Raises
+    ------
+    EvaluationError
+        From :meth:`validate`, if any knob is out of range.
+    """
+
+    num_ops: int = 1000
+    read_fraction: float = 0.9
+    zipf_s: float = 1.0
+    insert_fraction: float = 0.5
+    max_query_batch: int = 8
+    max_update_batch: int = 4
+    seed: int | None = None
+
+    def validate(self) -> None:
+        """Check every knob, raising :class:`EvaluationError` on the first bad one."""
+        try:
+            check_positive_int("num_ops", self.num_ops)
+            check_positive_int("max_query_batch", self.max_query_batch)
+            check_positive_int("max_update_batch", self.max_update_batch)
+            check_fraction("read_fraction", self.read_fraction)
+            check_fraction("insert_fraction", self.insert_fraction)
+        except Exception as exc:
+            raise EvaluationError(str(exc)) from None
+        if self.zipf_s < 0:
+            raise EvaluationError(f"zipf_s must be non-negative, got {self.zipf_s}")
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat dict for JSON reports."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class TraceBatch:
+    """One arrival: a batch of queries **or** a batch of edge updates.
+
+    Exactly one of ``queries`` / ``updates`` is non-empty, according to
+    ``kind`` (``"query"`` or ``"update"``).  ``offset`` is the index of the
+    batch's first operation in the trace's global op order, so drivers can
+    label per-op records without re-counting.
+    """
+
+    kind: str
+    offset: int
+    queries: tuple[int, ...] = ()
+    updates: tuple[EdgeUpdate, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.queries) if self.kind == "query" else len(self.updates)
+
+
+class WorkloadTrace:
+    """An immutable, replayable sequence of arrival batches.
+
+    Iterating yields :class:`TraceBatch` in arrival order.  The trace also
+    carries the generating :class:`WorkloadConfig` so reports are
+    self-describing.
+    """
+
+    def __init__(self, batches: list[TraceBatch], config: WorkloadConfig) -> None:
+        self._batches = tuple(batches)
+        self.config = config
+
+    def __len__(self) -> int:
+        return len(self._batches)
+
+    def __iter__(self) -> Iterator[TraceBatch]:
+        return iter(self._batches)
+
+    def __getitem__(self, index: int) -> TraceBatch:
+        return self._batches[index]
+
+    @property
+    def num_queries(self) -> int:
+        """Total query operations across all batches."""
+        return sum(len(b) for b in self._batches if b.kind == "query")
+
+    @property
+    def num_updates(self) -> int:
+        """Total edge-update operations across all batches."""
+        return sum(len(b) for b in self._batches if b.kind == "update")
+
+    @property
+    def num_ops(self) -> int:
+        """Total operations (queries + updates)."""
+        return self.num_queries + self.num_updates
+
+    def query_nodes(self) -> list[int]:
+        """Every queried node in op order (duplicates preserved)."""
+        return [q for b in self._batches if b.kind == "query" for q in b.queries]
+
+    def signature(self) -> str:
+        """Content digest of the trace (op kinds, nodes, edges — not timings).
+
+        Two traces with equal signatures are operation-for-operation
+        identical; the reproducibility tests and the driver's report use
+        this to pin "same trace" down to bytes.
+        """
+        h = blake2b(digest_size=16)
+        for batch in self._batches:
+            h.update(b"Q" if batch.kind == "query" else b"U")
+            for q in batch.queries:
+                h.update(q.to_bytes(8, "little"))
+            for u in batch.updates:
+                h.update(b"+" if u.kind == "insert" else b"-")
+                h.update(u.source.to_bytes(8, "little"))
+                h.update(u.target.to_bytes(8, "little"))
+        return h.hexdigest()
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadTrace(batches={len(self)}, queries={self.num_queries}, "
+            f"updates={self.num_updates})"
+        )
+
+
+def _query_distribution(graph, zipf_s: float, rng) -> tuple[np.ndarray, np.ndarray]:
+    """Eligible query nodes and their Zipf sampling probabilities.
+
+    Eligibility follows the paper's §6.1 protocol (nonzero in-degree).  Node
+    popularity ranks are a seeded permutation of the eligible set, weighted
+    ``1 / rank**zipf_s`` — so the *hot set* itself is reproducible from the
+    trace seed, not an artifact of node numbering.
+    """
+    csr = as_csr(graph)
+    eligible = np.nonzero(csr.in_degrees > 0)[0]
+    if len(eligible) == 0:
+        raise EvaluationError("graph has no nodes with nonzero in-degree to query")
+    ranked = rng.permutation(eligible)
+    weights = 1.0 / np.power(np.arange(1, len(ranked) + 1, dtype=np.float64), zipf_s)
+    return ranked, weights / weights.sum()
+
+
+def generate_workload(
+    graph: DiGraph,
+    config: WorkloadConfig | None = None,
+    **overrides,
+) -> WorkloadTrace:
+    """Generate a reproducible interleaved query/update trace for ``graph``.
+
+    Operations are drawn one at a time (query with probability
+    ``read_fraction``, update otherwise) and consecutive same-kind
+    operations coalesce into arrival batches capped at the configured
+    maxima — so the op-level read/write ratio matches ``read_fraction`` in
+    expectation regardless of the batch-size knobs.  Updates are drawn from
+    a :class:`~repro.graph.dynamic.MutationSampler` over a scratch copy, so
+    the whole trace is valid when its updates are applied in order.
+
+    Parameters
+    ----------
+    graph:
+        Graph the trace will be replayed against (not modified).
+    config:
+        A :class:`WorkloadConfig`; defaults to ``WorkloadConfig()``.
+    overrides:
+        Keyword overrides applied on top of ``config``
+        (``generate_workload(g, num_ops=500, seed=7)``).
+
+    Returns
+    -------
+    WorkloadTrace
+        The generated trace, carrying the effective config.
+
+    Raises
+    ------
+    EvaluationError
+        If the config is invalid or ``graph`` has no eligible query nodes.
+    GraphError
+        If an update is drawn and ``graph`` is too small/full for the
+        update sampler (see :class:`~repro.graph.dynamic.MutationSampler`);
+        pure-read traces never construct the sampler.
+    """
+    config = config or WorkloadConfig()
+    if overrides:
+        config = WorkloadConfig(**{**config.as_dict(), **overrides})
+    config.validate()
+    rng = as_generator(config.seed)
+    ranked, probs = _query_distribution(graph, config.zipf_s, rng)
+    # lazy: pure-read traces never pay the sampler's scratch-graph copy
+    # (and a graph too small to mutate is fine as long as no update is drawn)
+    sampler: MutationSampler | None = None
+
+    batches: list[TraceBatch] = []
+    emitted = 0
+
+    def flush(kind: str, size: int) -> None:
+        """Materialize one coalesced run of ``size`` same-kind ops."""
+        nonlocal sampler, emitted
+        if kind == "query":
+            nodes = rng.choice(ranked, size=size, p=probs)  # with replacement: hot keys repeat
+            batch = TraceBatch(
+                kind="query", offset=emitted,
+                queries=tuple(int(v) for v in nodes),
+            )
+        else:
+            if sampler is None:
+                sampler = MutationSampler(
+                    graph, insert_fraction=config.insert_fraction, seed=rng
+                )
+            batch = TraceBatch(
+                kind="update", offset=emitted,
+                updates=tuple(sampler.sample_many(size)),
+            )
+        batches.append(batch)
+        emitted += size
+
+    # one read/write coin per OP (the documented op-level ratio); consecutive
+    # same-kind ops coalesce into an arrival batch capped at the configured max
+    pending_kind: str | None = None
+    pending_size = 0
+    for _ in range(config.num_ops):
+        kind = "query" if rng.random() < config.read_fraction else "update"
+        cap = config.max_query_batch if kind == "query" else config.max_update_batch
+        if kind != pending_kind or pending_size >= cap:
+            if pending_size:
+                flush(pending_kind, pending_size)
+            pending_kind, pending_size = kind, 0
+        pending_size += 1
+    if pending_size:
+        flush(pending_kind, pending_size)
+    return WorkloadTrace(batches, config)

@@ -1,0 +1,121 @@
+"""Latency accounting for the workload driver.
+
+Per-operation latencies are recorded into a :class:`LatencyHistogram`, which
+keeps both the exact samples (for precise p50/p95/p99 over the modest op
+counts a trace holds) and fixed log-spaced bucket counts (for the compact
+JSON reports the benchmark harness persists — bucket edges are identical
+across methods and runs, so reports are directly comparable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+__all__ = ["LatencyHistogram"]
+
+#: shared log-spaced bucket edges (seconds): 1µs .. 100s, 4 buckets/decade.
+BUCKET_EDGES = np.logspace(-6, 2, num=33)
+
+
+class LatencyHistogram:
+    """Accumulates per-op latencies; summarizes percentiles and buckets.
+
+    >>> h = LatencyHistogram()
+    >>> for ms in (1, 2, 3, 4, 100):
+    ...     h.record(ms / 1000)
+    >>> h.count
+    5
+    >>> round(h.percentile(50) * 1000)
+    3
+    """
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample (non-negative seconds).
+
+        Raises
+        ------
+        EvaluationError
+            If ``seconds`` is negative.
+        """
+        if seconds < 0:
+            raise EvaluationError(f"latency must be non-negative, got {seconds}")
+        self._samples.append(float(seconds))
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's samples into this one."""
+        self._samples.extend(other._samples)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Mean latency in seconds (0.0 when empty)."""
+        return float(np.mean(self._samples)) if self._samples else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest recorded latency in seconds (0.0 when empty)."""
+        return float(np.max(self._samples)) if self._samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-th percentile (0-100) over the samples, in seconds.
+
+        Raises
+        ------
+        EvaluationError
+            If ``q`` is outside ``[0, 100]``.
+        """
+        if not 0 <= q <= 100:
+            raise EvaluationError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(self._samples, q))
+
+    def bucket_counts(self) -> list[int]:
+        """Sample counts per shared log-spaced bucket (see ``BUCKET_EDGES``).
+
+        Samples outside the bucket range are clamped into the first/last
+        bucket, so ``sum(bucket_counts()) == count`` always holds and the
+        persisted histogram never silently drops an outlier (the exact
+        ``max_s`` in :meth:`summary` still reports the true extreme).
+        """
+        if not self._samples:
+            return [0] * (len(BUCKET_EDGES) - 1)
+        # np.histogram's last bin is closed on the right, so clamping to the
+        # outermost edges lands every outlier in an end bucket
+        clamped = np.clip(self._samples, BUCKET_EDGES[0], BUCKET_EDGES[-1])
+        counts, _ = np.histogram(clamped, bins=BUCKET_EDGES)
+        return [int(c) for c in counts]
+
+    def summary(self) -> dict[str, float]:
+        """The headline numbers every report carries (seconds)."""
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "p50_s": self.percentile(50),
+            "p95_s": self.percentile(95),
+            "p99_s": self.percentile(99),
+            "max_s": self.max,
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready dict: summary plus the shared-bucket histogram."""
+        return {
+            **self.summary(),
+            "bucket_edges_s": [float(e) for e in BUCKET_EDGES],
+            "bucket_counts": self.bucket_counts(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyHistogram(count={self.count}, p50={self.percentile(50):.6f}s, "
+            f"p99={self.percentile(99):.6f}s)"
+        )

@@ -31,6 +31,30 @@ class TestDeprecatedMaintenanceVerbs:
             index.rebuild()
         assert np.all(np.isfinite(index.single_source(0).scores))
 
+    def test_message_names_replacement_and_removal_version(self, toy):
+        """The warning must tell callers what to call instead and when the
+        alias disappears — migration from the message alone."""
+        from repro.api.estimator import DEPRECATED_VERB_REMOVAL
+
+        engine = ProbeSim(toy.copy(), eps_a=0.2, seed=1, num_walks=40)
+        with pytest.warns(DeprecationWarning) as caught:
+            engine.refresh()
+        message = str(caught[0].message)
+        assert message == (
+            f"ProbeSim.refresh() is deprecated and will be removed in "
+            f"{DEPRECATED_VERB_REMOVAL}; use ProbeSim.sync() instead"
+        )
+
+    def test_rebuild_message_names_replacement_and_removal_version(self, toy):
+        from repro.api.estimator import DEPRECATED_VERB_REMOVAL
+
+        index = TSFIndex(toy.copy(), rg=10, rq=2, depth=4, seed=3)
+        with pytest.warns(DeprecationWarning) as caught:
+            index.rebuild()
+        message = str(caught[0].message)
+        assert "use TSFIndex.sync() instead" in message
+        assert f"will be removed in {DEPRECATED_VERB_REMOVAL}" in message
+
     def test_sync_does_not_warn(self, toy, recwarn):
         engine = ProbeSim(toy.copy(), eps_a=0.2, seed=1, num_walks=40)
         engine.sync()

@@ -3,9 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.api import SimRankService
-from repro.errors import ConfigurationError, QueryError
-from repro.graph import CSRGraph
+from repro.api import Capabilities, SimRankService
+from repro.api.estimator import SimRankEstimator
+from repro.errors import (
+    ConfigurationError,
+    DuplicateEdgeError,
+    EdgeNotFoundError,
+    QueryError,
+    ReproError,
+)
+from repro.graph import CSRGraph, EdgeUpdate
 from repro.graph.dynamic import generate_update_stream
 
 
@@ -140,3 +147,131 @@ class TestUpdates:
         row = service.stats.as_row()
         assert row["queries"] == 1
         assert "dedup_saved" in row and "syncs" in row
+
+    def test_maintenance_time_charged_per_method(self, toy):
+        service = make_service(toy.copy())
+        service.apply_edges(added=[(0, 5)])
+        charged = service.stats.maintenance_seconds
+        assert set(charged) == {"power", "probesim"}
+        assert all(seconds >= 0 for seconds in charged.values())
+        assert service.stats.total_maintenance_seconds == pytest.approx(
+            sum(charged.values())
+        )
+
+
+class _ExplodingEstimator(SimRankEstimator):
+    """Incremental estimator that raises on its Nth update notification."""
+
+    def __init__(self, graph, explode_at=3):
+        self.graph = graph
+        self.explode_at = explode_at
+        self.notified = 0
+
+    def single_source(self, query):
+        raise NotImplementedError  # never queried in these tests
+
+    def sync(self):
+        """No state to rebuild."""
+
+    def capabilities(self):
+        """Advertises incremental updates so the service notifies per op."""
+        return Capabilities(
+            method="exploding", exact=False, index_based=True,
+            supports_dynamic=True, incremental_updates=True,
+        )
+
+    def apply_updates(self, updates):
+        """Blow up on the configured notification."""
+        for _ in updates:
+            self.notified += 1
+            if self.notified >= self.explode_at:
+                raise RuntimeError("index corrupted")
+
+
+class TestUpdateStreamEdgeCases:
+    def test_empty_stream_applies_nothing_and_skips_sync(self, toy):
+        service = make_service(toy.copy())
+        assert service.apply_update_stream([]) == 0
+        assert service.stats.updates_applied == 0
+        assert service.stats.syncs == 0
+
+    def test_duplicate_insert_rejected_graph_and_stats_consistent(self, toy):
+        graph = toy.copy()
+        service = make_service(graph)
+        existing = next(iter(graph.edges()))
+        before_edges = graph.num_edges
+        with pytest.raises(DuplicateEdgeError):
+            service.apply_edges(added=[existing])
+        assert graph.num_edges == before_edges
+        assert service.stats.updates_applied == 0
+        # nothing was applied, so nothing is stale and nothing syncs
+        assert service.stats.syncs == 0
+        assert np.isfinite(service.single_source(0).scores).all()
+
+    def test_delete_of_missing_edge_rejected_consistently(self, toy):
+        graph = toy.copy()
+        service = make_service(graph)
+        with pytest.raises(EdgeNotFoundError):
+            service.apply_edges(removed=[(0, 7)])
+        assert service.stats.updates_applied == 0
+        assert service.stats.syncs == 0
+
+    def test_partial_stream_failure_still_syncs_applied_prefix(self, toy):
+        """An invalid op mid-stream: the valid prefix stays applied AND the
+        bulk estimators are synced over it (never silently stale)."""
+        graph = toy.copy()
+        service = make_service(graph)
+        updates = [
+            EdgeUpdate("insert", 0, 5),
+            EdgeUpdate("delete", 0, 7),  # invalid: not an edge
+            EdgeUpdate("insert", 1, 6),
+        ]
+        with pytest.raises(EdgeNotFoundError):
+            service.apply_update_stream(updates)
+        assert graph.has_edge(0, 5)
+        assert not graph.has_edge(1, 6)
+        assert service.stats.updates_applied == 1
+        assert service.stats.syncs == 2  # both bulk methods synced the prefix
+        # the exact method answers against the post-prefix graph
+        assert np.isfinite(service.single_source(5, method="power").scores).all()
+
+    def test_mid_stream_estimator_failure_graph_and_stats_consistent(self, toy):
+        """An estimator raising during notification must not desync the
+        service: applied updates are counted, bulk methods get synced, and
+        the graph keeps every mutation that happened before the failure."""
+        graph = toy.copy()
+        service = make_service(graph)
+        exploding = _ExplodingEstimator(graph, explode_at=2)
+        service._estimators["exploding"] = exploding  # mount the stub directly
+        stream = generate_update_stream(graph, 4, seed=5)
+        with pytest.raises(RuntimeError, match="index corrupted"):
+            service.apply_update_stream(stream)
+        # updates 1 and 2 mutated the graph; the failure happened *after*
+        # the second mutation, during notification
+        assert service.stats.updates_applied == 2
+        assert exploding.notified == 2
+        # bulk estimators were synced over the applied prefix (finally path)
+        assert service.stats.syncs == 2
+        assert not service._stale
+        # the service still answers queries against the current graph
+        assert np.isfinite(service.single_source(0).scores).all()
+        assert service.single_source(0, method="power").score(0) == 1.0
+
+    def test_failure_with_deferred_sync_marks_stale(self, toy):
+        graph = toy.copy()
+        service = make_service(graph, auto_sync=False)
+        exploding = _ExplodingEstimator(graph, explode_at=1)
+        service._estimators["exploding"] = exploding
+        stream = generate_update_stream(graph, 3, seed=6)
+        with pytest.raises(RuntimeError):
+            service.apply_update_stream(stream)
+        assert service.stats.updates_applied == 1
+        # the applied prefix left bulk estimators stale; an explicit sync heals
+        assert service._stale == {"power", "probesim"}
+        service.sync()
+        assert service.stats.syncs == 2
+        assert not service._stale
+
+    def test_library_errors_derive_from_repro_error(self):
+        assert issubclass(DuplicateEdgeError, ReproError)
+        assert issubclass(EdgeNotFoundError, ReproError)

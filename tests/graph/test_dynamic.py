@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.errors import GraphError
-from repro.graph import DiGraph, EdgeUpdate, apply_update, generate_update_stream
+from repro.errors import DuplicateEdgeError, EdgeNotFoundError, GraphError
+from repro.graph import DiGraph, EdgeUpdate, MutationSampler, apply_update, generate_update_stream
 from repro.graph.dynamic import UpdateStream, apply_stream
 
 
@@ -84,3 +84,77 @@ class TestApply:
             assert edge not in seen
             seen.add(edge)
             assert edge[0] != edge[1]
+
+
+class TestApplyEdgeCases:
+    def test_empty_stream_is_a_noop(self):
+        g = DiGraph.from_edges([(0, 1)])
+        before = g.copy()
+        assert apply_stream(g, UpdateStream([])) is g
+        assert g == before
+
+    def test_duplicate_insert_raises_and_preserves_graph(self):
+        g = DiGraph.from_edges([(0, 1)])
+        before = g.copy()
+        with pytest.raises(DuplicateEdgeError):
+            apply_update(g, EdgeUpdate("insert", 0, 1))
+        assert g == before
+
+    def test_delete_of_missing_edge_raises_and_preserves_graph(self):
+        g = DiGraph.from_edges([(0, 1)])
+        before = g.copy()
+        with pytest.raises(EdgeNotFoundError):
+            apply_update(g, EdgeUpdate("delete", 1, 0))
+        assert g == before
+
+    def test_mid_stream_failure_keeps_valid_prefix_applied(self):
+        """apply_stream applies in order: everything before the bad op
+        lands, the bad op raises, nothing after it is applied."""
+        g = DiGraph(4)
+        stream = UpdateStream([
+            EdgeUpdate("insert", 0, 1),
+            EdgeUpdate("insert", 1, 2),
+            EdgeUpdate("delete", 2, 3),   # invalid: edge never existed
+            EdgeUpdate("insert", 2, 3),   # must not be applied
+        ])
+        with pytest.raises(EdgeNotFoundError):
+            apply_stream(g, stream)
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+        assert not g.has_edge(2, 3)
+        assert g.num_edges == 2
+
+
+class TestMutationSampler:
+    def test_sampler_matches_generate_update_stream(self, tiny_wiki):
+        """generate_update_stream is the sampler run end to end — same seed,
+        same draws."""
+        stream = generate_update_stream(tiny_wiki, 80, insert_fraction=0.4, seed=13)
+        sampler = MutationSampler(tiny_wiki, insert_fraction=0.4, seed=13)
+        assert list(stream) == sampler.sample_many(80)
+
+    def test_scratch_graph_tracks_updates(self, tiny_wiki):
+        sampler = MutationSampler(tiny_wiki, seed=1)
+        update = sampler.sample()
+        if update.kind == "insert":
+            assert sampler.graph.has_edge(update.source, update.target)
+        else:
+            assert not sampler.graph.has_edge(update.source, update.target)
+        assert tiny_wiki != sampler.graph  # the caller's graph was copied
+
+    def test_delete_only_sampler_drains_then_inserts(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2)])
+        sampler = MutationSampler(g, insert_fraction=0.0, seed=2)
+        first, second = sampler.sample_many(2)
+        assert {first.kind, second.kind} == {"delete"}
+        # the scratch graph is empty now: the next draw must fall back to insert
+        assert sampler.sample().kind == "insert"
+
+    def test_too_small_graph_rejected(self):
+        with pytest.raises(GraphError):
+            MutationSampler(DiGraph(1), seed=1)
+
+    def test_copy_false_mutates_caller_graph(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        sampler = MutationSampler(g, insert_fraction=1.0, seed=3, copy=False)
+        sampler.sample()
+        assert g.num_edges == 4  # mutated in place

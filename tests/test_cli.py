@@ -49,6 +49,56 @@ class TestMethodsCommand:
         assert "dynamic" in out and "incremental" in out
 
 
+class TestMethodsMarkdown:
+    def test_markdown_table_matches_registry(self, capsys):
+        from repro.api.registry import method_names
+
+        assert main(["methods", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| method |")
+        for name in method_names():
+            assert f"`{name}`" in out
+        assert "config keys" in out
+
+
+class TestWorkloadCommand:
+    def test_runs_and_writes_json(self, toy_path, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main([
+            "workload", toy_path,
+            "--methods", "probesim-batched,tsf",
+            "--ops", "60", "--read-fraction", "0.8", "--workers", "2",
+            "--seed", "5", "--eps-a", "0.3", "--rg", "10", "--rq", "2",
+            "--json", str(out),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "workload:" in printed
+        assert "p95_ms" in printed and "qps" in printed
+        import json
+
+        payload = json.loads(out.read_text())
+        assert {r["method"] for r in payload["reports"]} == {"probesim-batched", "tsf"}
+        for report in payload["reports"]:
+            assert report["latency"]["p50_s"] >= 0
+            assert report["digest"]
+        assert payload["trace"]["seed"] == 5
+
+    def test_unknown_method_is_clean_error(self, toy_path, capsys):
+        code = main([
+            "workload", toy_path, "--methods", "nope", "--ops", "10",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_read_fraction_is_clean_error(self, toy_path, capsys):
+        code = main([
+            "workload", toy_path, "--ops", "10", "--read-fraction", "1.5",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestQueryCommands:
     def test_single_source_probesim(self, toy_path, capsys):
         code = main([

@@ -27,7 +27,8 @@ class TestExports:
     @pytest.mark.parametrize(
         "package",
         ["repro.api", "repro.graph", "repro.core", "repro.baselines",
-         "repro.eval", "repro.datasets", "repro.extensions", "repro.utils"],
+         "repro.eval", "repro.datasets", "repro.extensions", "repro.utils",
+         "repro.workloads"],
     )
     def test_subpackage_all_importable(self, package):
         module = importlib.import_module(package)

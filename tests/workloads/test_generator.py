@@ -1,0 +1,136 @@
+"""Unit tests for the mixed query/update workload generator."""
+
+import collections
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.graph import DiGraph, apply_update
+from repro.workloads import WorkloadConfig, generate_workload
+
+
+@pytest.fixture()
+def graph(tiny_wiki):
+    return tiny_wiki
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        WorkloadConfig().validate()
+
+    @pytest.mark.parametrize("bad", [
+        {"num_ops": 0},
+        {"num_ops": -5},
+        {"read_fraction": 1.5},
+        {"insert_fraction": -0.1},
+        {"zipf_s": -1.0},
+        {"max_query_batch": 0},
+        {"max_update_batch": 0},
+    ])
+    def test_bad_knobs_rejected(self, bad):
+        with pytest.raises(EvaluationError):
+            WorkloadConfig(**bad).validate()
+
+    def test_as_dict_round_trips(self):
+        config = WorkloadConfig(num_ops=50, seed=3)
+        assert WorkloadConfig(**config.as_dict()) == config
+
+
+class TestGenerate:
+    def test_op_count_exact(self, graph):
+        trace = generate_workload(graph, num_ops=137, seed=1)
+        assert trace.num_ops == 137
+
+    def test_deterministic_for_fixed_seed(self, graph):
+        a = generate_workload(graph, num_ops=200, seed=9)
+        b = generate_workload(graph, num_ops=200, seed=9)
+        assert a.signature() == b.signature()
+        assert [bt.kind for bt in a] == [bt.kind for bt in b]
+        assert a.query_nodes() == b.query_nodes()
+
+    def test_different_seeds_differ(self, graph):
+        a = generate_workload(graph, num_ops=200, seed=9)
+        b = generate_workload(graph, num_ops=200, seed=10)
+        assert a.signature() != b.signature()
+
+    def test_read_fraction_is_op_level(self, graph):
+        trace = generate_workload(graph, num_ops=4000, read_fraction=0.8, seed=2)
+        # per-op Bernoulli(0.8): 4000 draws, sd ~0.0063 — 5 sigma bounds
+        assert 0.768 < trace.num_queries / trace.num_ops < 0.832
+
+    def test_unequal_batch_caps_do_not_bias_the_ratio(self, graph):
+        """The op-level ratio must hold even when query batches coalesce up
+        to 8 ops while update batches cap at 1 (the bias a per-batch coin
+        would introduce)."""
+        trace = generate_workload(
+            graph, num_ops=4000, read_fraction=0.5, seed=3,
+            max_query_batch=8, max_update_batch=1,
+        )
+        assert 0.46 < trace.num_queries / trace.num_ops < 0.54
+
+    def test_pure_read_and_pure_write(self, graph):
+        reads = generate_workload(graph, num_ops=100, read_fraction=1.0, seed=3)
+        assert reads.num_updates == 0
+        writes = generate_workload(graph, num_ops=100, read_fraction=0.0, seed=3)
+        assert writes.num_queries == 0
+
+    def test_updates_valid_in_order(self, graph):
+        trace = generate_workload(
+            graph, num_ops=400, read_fraction=0.5, insert_fraction=0.5, seed=4
+        )
+        g = graph.copy()
+        for batch in trace:
+            for update in batch.updates:
+                apply_update(g, update)  # raises on any invalid op
+
+    def test_batch_sizes_capped(self, graph):
+        trace = generate_workload(
+            graph, num_ops=300, max_query_batch=3, max_update_batch=2, seed=5
+        )
+        for batch in trace:
+            cap = 3 if batch.kind == "query" else 2
+            assert 1 <= len(batch) <= cap
+
+    def test_offsets_are_global_op_order(self, graph):
+        trace = generate_workload(graph, num_ops=120, seed=6)
+        expected = 0
+        for batch in trace:
+            assert batch.offset == expected
+            expected += len(batch)
+        assert expected == trace.num_ops
+
+    def test_zipf_skew_concentrates_queries(self, graph):
+        uniform = generate_workload(
+            graph, num_ops=3000, read_fraction=1.0, zipf_s=0.0, seed=7
+        )
+        skewed = generate_workload(
+            graph, num_ops=3000, read_fraction=1.0, zipf_s=1.2, seed=7
+        )
+
+        def top_share(trace):
+            counts = collections.Counter(trace.query_nodes())
+            top = sum(c for _, c in counts.most_common(5))
+            return top / trace.num_queries
+
+        assert top_share(skewed) > top_share(uniform) * 2
+
+    def test_queries_have_nonzero_in_degree(self, graph):
+        trace = generate_workload(graph, num_ops=500, read_fraction=1.0, seed=8)
+        for node in set(trace.query_nodes()):
+            assert graph.in_degree(node) > 0
+
+    def test_no_eligible_query_nodes_rejected(self):
+        edgeless = DiGraph(3)  # every node has in-degree 0
+        with pytest.raises(EvaluationError, match="nonzero in-degree"):
+            generate_workload(edgeless, num_ops=10, seed=1)
+
+    def test_source_graph_untouched(self, graph):
+        before = graph.copy()
+        generate_workload(graph, num_ops=300, read_fraction=0.2, seed=9)
+        assert graph == before
+
+    def test_trace_container_protocol(self, graph):
+        trace = generate_workload(graph, num_ops=50, seed=10)
+        assert len(trace) >= 1
+        assert trace[0].offset == 0
+        assert "WorkloadTrace" in repr(trace)

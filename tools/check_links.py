@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Check that internal markdown links resolve to real files.
+
+Scans the repo's top-level markdown documents plus everything under
+``docs/`` for ``[text](target)`` links, and fails when a *relative* target
+does not exist on disk (anchors are stripped; external ``http(s)``/
+``mailto`` links are skipped — this is a repo-consistency check, not a web
+crawler).
+
+Usage::
+
+    python tools/check_links.py            # check the default document set
+    python tools/check_links.py FILE...    # check specific files
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: markdown documents checked by default (plus the whole docs/ tree).
+DEFAULT_DOCS = ["README.md", "ARCHITECTURE.md", "ROADMAP.md", "CHANGES.md"]
+
+#: [text](target) — target captured; images share the syntax via ![alt](...)
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: schemes that are out of scope for a filesystem check
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_links(path: Path):
+    """Yield (line_number, target) for every markdown link in ``path``."""
+    for line_number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in LINK_RE.finditer(line):
+            yield line_number, match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    """Problems in one document, as human-readable strings."""
+    problems = []
+    for line_number, target in iter_links(path):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            try:
+                shown = path.relative_to(REPO)
+            except ValueError:
+                shown = path  # a document outside the repo: show it absolute
+            problems.append(f"{shown}:{line_number}: broken link -> {target}")
+    return problems
+
+
+def collect_default_documents() -> list[Path]:
+    """The default document set: top-level docs plus the docs/ tree."""
+    documents = [REPO / name for name in DEFAULT_DOCS if (REPO / name).exists()]
+    documents += sorted((REPO / "docs").rglob("*.md"))
+    return documents
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    documents = [Path(arg).resolve() for arg in argv] or collect_default_documents()
+    problems = []
+    for document in documents:
+        problems += check_file(document)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    print(f"checked {len(documents)} documents: all internal links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
