@@ -25,10 +25,19 @@ from repro.core.engine import ProbeSim  # noqa: E402
 from repro.graph import CSRGraph  # noqa: E402
 from repro.graph.generators import erdos_renyi_graph  # noqa: E402
 
+#: REPRO_SMOKE=1 shrinks everything to seconds (CI bench-smoke job) and
+#: disables the headline assertion, which needs the full acceptance sizes.
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
 #: (num_nodes, num_edges) series; the n = 10k rows are the acceptance config.
-SIZES = [(1_000, 5_000), (4_000, 20_000), (10_000, 30_000), (10_000, 50_000)]
-NUM_WALKS = 1_000
-HEADLINE_N = 10_000
+if SMOKE:
+    SIZES = [(500, 2_500), (2_000, 8_000)]
+    NUM_WALKS = 200
+    HEADLINE_N = 2_000
+else:
+    SIZES = [(1_000, 5_000), (4_000, 20_000), (10_000, 30_000), (10_000, 50_000)]
+    NUM_WALKS = 1_000
+    HEADLINE_N = 10_000
 HEADLINE_SPEEDUP = 3.0
 BATCH_QUERIES = 16
 
@@ -102,32 +111,47 @@ def time_query_batch(n: int, m: int, num_queries: int) -> dict:
     }
 
 
-def test_single_query_speedup_across_sizes():
-    """Headline: >= 3x single-query speedup at the n ~ 10k acceptance point."""
+def run_single_query_rows() -> list[dict]:
+    """Single-query speedups across sizes (shared by pytest and --json)."""
     rows = [time_single_query(n, m) for n, m in SIZES]
     emit_table(
         "batched_engine",
         rows,
         f"Batched vs loop engine: single query, R={NUM_WALKS}",
     )
+    return rows
+
+
+def test_single_query_speedup_across_sizes():
+    """Headline: >= 3x single-query speedup at the n ~ 10k acceptance point
+    (informational only under the smoke preset — the sizes are too small)."""
+    rows = run_single_query_rows()
     headline = [r["speedup"] for r in rows if r["n"] == HEADLINE_N]
+    if SMOKE:
+        assert headline, rows  # ran, produced numbers; that is all smoke asks
+        return
     assert max(headline) >= HEADLINE_SPEEDUP, rows
     assert all(s > 1.5 for s in headline), rows
+
+
+def run_query_batch_rows() -> list[dict]:
+    """Service-batch speedups (shared by pytest and --json)."""
+    rows = [time_query_batch(n, m, BATCH_QUERIES) for n, m in (SIZES[0], SIZES[-1])]
+    emit_table(
+        "batched_engine",
+        rows,
+        f"Batched vs loop engine: {BATCH_QUERIES}-query service batch",
+    )
+    return rows
 
 
 def test_query_batch_throughput():
     """Service batches: the forest sweep amortizes per-level Python overhead
     across every query in the batch (dramatic on small graphs, still a clear
     win at the acceptance size)."""
-    rows = [
-        time_query_batch(1_000, 5_000, BATCH_QUERIES),
-        time_query_batch(10_000, 50_000, BATCH_QUERIES),
-    ]
-    emit_table(
-        "batched_engine",
-        rows,
-        f"Batched vs loop engine: {BATCH_QUERIES}-query service batch",
-    )
+    rows = run_query_batch_rows()
+    if SMOKE:
+        return  # timing ratios at smoke sizes are noise; the run is the test
     for row in rows:
         assert row["speedup"] > 1.0, row
 
@@ -145,8 +169,56 @@ def test_engines_answer_identically():
     np.testing.assert_allclose(a, b, rtol=0, atol=1e-12)
 
 
-if __name__ == "__main__":
+def main(argv=None) -> int:
+    """Standalone entry point; ``--json`` feeds the perf-regression gate."""
+    import argparse
+    import json
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default=None,
+                        help="write the machine-readable report here")
+    args = parser.parse_args(argv)
+
     test_engines_answer_identically()
-    test_single_query_speedup_across_sizes()
-    test_query_batch_throughput()
+    single_rows = run_single_query_rows()
+    batch_rows = run_query_batch_rows()
+    if not SMOKE:
+        headline = [r["speedup"] for r in single_rows if r["n"] == HEADLINE_N]
+        assert max(headline) >= HEADLINE_SPEEDUP, single_rows
+    if args.json:
+        # gate on absolute batched-engine latencies (monotone under a slow
+        # commit vs a same-hardware baseline); loop-vs-batched speedup
+        # ratios are machine-shaped, so they ride along under "derived"
+        # and the >= 3x headline stays enforced by the assert above.
+        gate = {}
+        derived = {}
+        for row in single_rows:
+            derived[f"speedup:single:n{row['n']}-m{row['m']}"] = row["speedup"]
+            gate[f"latency:single-batched_s:n{row['n']}-m{row['m']}"] = row["batched_s"]
+        for row in batch_rows:
+            derived[f"speedup:batch:n{row['n']}"] = row["speedup"]
+            gate[f"latency:batch-batched_s:n{row['n']}"] = row["batched_s"]
+        import multiprocessing
+
+        payload = {
+            "bench": "batched_engine",
+            "preset": "smoke" if SMOKE else "full",
+            "cores": multiprocessing.cpu_count(),
+            "walks": NUM_WALKS,
+            "single_query": single_rows,
+            "query_batch": batch_rows,
+            "derived": derived,
+            "gate": gate,
+        }
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        print(f"wrote JSON report to {out}")
     print("bench_batched_engine: all assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,8 +35,16 @@ SCALE = os.environ.get("REPRO_SCALE", "tiny")
 if SCALE not in ("tiny", "small", "paper"):
     raise RuntimeError(f"REPRO_SCALE must be tiny|small|paper, got {SCALE!r}")
 
+#: REPRO_SMOKE=1 further shrinks the workload *within* a scale: the CI
+#: bench-smoke job runs every bench file in seconds purely to prove the
+#: scripts still execute end to end — numbers from a smoke run are not
+#: comparable to anything.
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
 #: number of query nodes averaged per experiment (paper: 100 small / 20 large)
 NUM_QUERIES = {"tiny": 4, "small": 10, "paper": 20}[SCALE]
+if SMOKE:
+    NUM_QUERIES = 2
 #: top-k depth (paper: 50)
 TOP_K = {"tiny": 10, "small": 25, "paper": 50}[SCALE]
 #: TSF index parameters (paper: Rg=300, Rq=40)

@@ -82,6 +82,15 @@ class Capabilities:
         engine, :mod:`repro.core.batch_engine`) rather than per-walk
         interpreter loops.  Serving layers prefer vectorized methods for
         high-throughput batches.
+    parallel_safe:
+        True when the method is practical behind the process-parallel
+        serving layer (:class:`repro.parallel.pool.ParallelSimRankService`):
+        per-worker replicas are affordable to construct, and the epoch
+        maintenance model — a full replica rebuild against the shared graph
+        after each update batch — costs no more than the method's own
+        :meth:`SimRankEstimator.sync`.  False for static rebuild-only
+        indexes (SLING) and dense exact solvers (Power Method), whose
+        per-worker-per-epoch rebuild would dominate serving.
     """
 
     method: str
@@ -90,6 +99,7 @@ class Capabilities:
     supports_dynamic: bool
     incremental_updates: bool = False
     vectorized: bool = False
+    parallel_safe: bool = False
 
     def as_row(self) -> dict[str, object]:
         """Flat dict row for table rendering (CLI ``methods`` subcommand)."""
@@ -100,6 +110,7 @@ class Capabilities:
             "dynamic": self.supports_dynamic,
             "incremental": self.incremental_updates,
             "vectorized": self.vectorized,
+            "parallel": self.parallel_safe,
         }
 
 

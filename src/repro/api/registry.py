@@ -189,7 +189,7 @@ def _register_builtins() -> None:
         """ProbeSim's capability profile (index-free, O(m) sync)."""
         return Capabilities(
             method=f"probesim-{strategy}", exact=False, index_based=False,
-            supports_dynamic=True, vectorized=vectorized,
+            supports_dynamic=True, vectorized=vectorized, parallel_safe=True,
         )
 
     register(
@@ -225,7 +225,7 @@ def _register_builtins() -> None:
         probe_config=_PROBESIM_PROBE,
         capabilities=Capabilities(
             method="probesim-batched", exact=False, index_based=False,
-            supports_dynamic=True, vectorized=True,
+            supports_dynamic=True, vectorized=True, parallel_safe=True,
         ),
     )
 
@@ -241,7 +241,7 @@ def _register_builtins() -> None:
         probe_config=_PROBESIM_PROBE,
         capabilities=Capabilities(
             method="probesim-walkindex", exact=False, index_based=True,
-            supports_dynamic=True, incremental_updates=True,
+            supports_dynamic=True, incremental_updates=True, parallel_safe=True,
         ),
     )
 
@@ -257,7 +257,7 @@ def _register_builtins() -> None:
         probe_config={**_PROBESIM_PROBE, "initial_batch": 16},
         capabilities=Capabilities(
             method="probesim-adaptive", exact=False, index_based=False,
-            supports_dynamic=True,
+            supports_dynamic=True, parallel_safe=True,
         ),
     )
 
@@ -275,6 +275,7 @@ def _register_builtins() -> None:
         probe_config={"num_walks": 60},
         capabilities=Capabilities(
             method="mc", exact=False, index_based=False, supports_dynamic=True,
+            parallel_safe=True,
         ),
     )
 
@@ -310,6 +311,7 @@ def _register_builtins() -> None:
         """The TopSim family's capability profile (index-free, truncated)."""
         return Capabilities(
             method=method, exact=False, index_based=False, supports_dynamic=True,
+            parallel_safe=True,
         )
 
     topsim_keys = ("c", "depth", "degree_threshold", "eta", "priority_width", "seed")
@@ -347,7 +349,7 @@ def _register_builtins() -> None:
         probe_config={"rg": 20, "rq": 4, "depth": 6},
         capabilities=Capabilities(
             method="tsf", exact=False, index_based=True,
-            supports_dynamic=True, incremental_updates=True,
+            supports_dynamic=True, incremental_updates=True, parallel_safe=True,
         ),
     )
 

@@ -40,7 +40,7 @@ from repro.errors import ConfigurationError, QueryError
 from repro.graph.digraph import DiGraph
 from repro.graph.dynamic import EdgeUpdate, apply_update
 
-__all__ = ["ServiceStats", "SimRankService"]
+__all__ = ["QueryServiceBase", "ServiceStats", "SimRankService"]
 
 
 @dataclass
@@ -61,6 +61,10 @@ class ServiceStats:
     updates_applied: int = 0
     syncs: int = 0
     incremental_notifications: int = 0
+    #: graph generations published (process-parallel serving; 0 here)
+    epochs: int = 0
+    #: crashed worker processes revived (process-parallel serving; 0 here)
+    worker_restarts: int = 0
     maintenance_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -91,7 +95,96 @@ class ServiceStats:
         }
 
 
-class SimRankService:
+class QueryServiceBase:
+    """Protocol surface shared by the sequential and process-parallel services.
+
+    Both serving layers — :class:`SimRankService` (estimators in-process)
+    and :class:`repro.parallel.pool.ParallelSimRankService` (estimator
+    replicas in worker processes) — speak the same verbs over the same
+    bookkeeping: one owned graph, named mounted methods with a default,
+    lock-guarded :class:`ServiceStats`, query-id normalisation, and top-k
+    as a view over the batched single-source path.  This base holds that
+    shared protocol; subclasses provide :meth:`_method_keys` (the mounted
+    method names) and the query/maintenance execution itself.
+    """
+
+    def __init__(self, graph, default_method: str | None = None) -> None:
+        self._graph = graph
+        self._default = default_method
+        self.stats = ServiceStats()
+        self._stats_lock = threading.Lock()
+
+    @property
+    def graph(self):
+        """The graph this service owns."""
+        return self._graph
+
+    @property
+    def methods(self) -> list[str]:
+        """Names the service can answer with, sorted."""
+        return sorted(self._method_keys())
+
+    def _method_keys(self):
+        """The mounted method names (mapping or iterable); subclass hook."""
+        raise NotImplementedError
+
+    def _resolve_method(self, method: str | None) -> str:
+        """Normalise ``method`` (default when None) to a mounted key.
+
+        Raises
+        ------
+        ConfigurationError
+            If no methods are mounted, or ``method`` names none of them.
+        """
+        key = method or self._default
+        if key is None:
+            raise ConfigurationError("service has no methods registered")
+        if key not in self._method_keys():
+            raise ConfigurationError(
+                f"service has no method {key!r}; available: {self.methods}"
+            )
+        return key
+
+    @staticmethod
+    def _validate_configs(
+        configs: dict[str, dict] | None, methods: Sequence[str]
+    ) -> dict[str, dict]:
+        """Reject configs naming methods the service does not mount."""
+        configs = configs or {}
+        unknown = sorted(set(configs) - set(methods))
+        if unknown:
+            raise ConfigurationError(
+                f"configs given for unregistered service methods {unknown}"
+            )
+        return configs
+
+    @staticmethod
+    def _check_query_id(query) -> int:
+        """Normalize one query id to int (full validation is per-estimator)."""
+        if isinstance(query, bool) or not hasattr(query, "__index__"):
+            raise QueryError(f"query node must be an int, got {type(query).__name__}")
+        return int(query)
+
+    def single_source_many(self, queries: Sequence[int], method: str | None = None):
+        """A batch of single-source queries (execution is subclass-specific)."""
+        raise NotImplementedError  # pragma: no cover - subclass hook
+
+    def topk_many(
+        self, queries: Sequence[int], k: int, method: str | None = None
+    ) -> list:
+        """Batched top-k: the top-k views of :meth:`single_source_many`.
+
+        Raises
+        ------
+        QueryError
+            If ``k`` is not positive, or a query id is not an int.
+        """
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        return [result.topk(k) for result in self.single_source_many(queries, method)]
+
+
+class SimRankService(QueryServiceBase):
     """One graph, many estimators, batched queries, unified maintenance.
 
     >>> from repro.graph import DiGraph
@@ -146,19 +239,11 @@ class SimRankService:
         default_method: str | None = None,
         auto_sync: bool = True,
     ) -> None:
-        self._graph = graph
+        super().__init__(graph, default_method=None)
         self._estimators: dict[str, SimRankEstimator] = {}
-        self._default: str | None = None
         self.auto_sync = auto_sync
-        self.stats = ServiceStats()
-        self._stats_lock = threading.Lock()
         self._stale: set[str] = set()
-        configs = configs or {}
-        unknown = sorted(set(configs) - set(methods))
-        if unknown:
-            raise ConfigurationError(
-                f"configs given for unregistered service methods {unknown}"
-            )
+        configs = self._validate_configs(configs, methods)
         for name in methods:
             self.add_method(name, **configs.get(name, {}))
         if default_method is not None:
@@ -173,15 +258,8 @@ class SimRankService:
     # method management
     # ------------------------------------------------------------------ #
 
-    @property
-    def graph(self):
-        """The graph this service owns."""
-        return self._graph
-
-    @property
-    def methods(self) -> list[str]:
-        """Names the service can answer with, sorted."""
-        return sorted(self._estimators)
+    def _method_keys(self):
+        return self._estimators
 
     def add_method(self, name: str, alias: str | None = None, **config) -> SimRankEstimator:
         """Instantiate registry method ``name`` on the service's graph.
@@ -215,15 +293,7 @@ class SimRankService:
         ConfigurationError
             If no methods are mounted, or ``method`` names none of them.
         """
-        key = method or self._default
-        if key is None:
-            raise ConfigurationError("service has no methods registered")
-        try:
-            return self._estimators[key]
-        except KeyError:
-            raise ConfigurationError(
-                f"service has no method {key!r}; available: {self.methods}"
-            ) from None
+        return self._estimators[self._resolve_method(method)]
 
     def capabilities(self, method: str | None = None):
         """Capability descriptor of one served method."""
@@ -279,19 +349,8 @@ class SimRankService:
             self.stats.batched_unique += len(distinct)
         return [by_query[query] for query in batch]
 
-    def topk_many(
-        self, queries: Sequence[int], k: int, method: str | None = None
-    ) -> list:
-        """Batched top-k: the top-k views of :meth:`single_source_many`.
-
-        Raises
-        ------
-        QueryError
-            If ``k`` is not positive, or a query id is not an int.
-        """
-        if k <= 0:
-            raise QueryError(f"k must be positive, got {k}")
-        return [result.topk(k) for result in self.single_source_many(queries, method)]
+    # topk_many comes from QueryServiceBase: the top-k views of
+    # single_source_many, so batched top-k rides the deduplicated hot path.
 
     # ------------------------------------------------------------------ #
     # dynamic maintenance
@@ -393,12 +452,6 @@ class SimRankService:
         self._stale.clear()
 
     # ------------------------------------------------------------------ #
-
-    def _check_query_id(self, query) -> int:
-        """Normalize one query id to int (full validation is per-estimator)."""
-        if isinstance(query, bool) or not hasattr(query, "__index__"):
-            raise QueryError(f"query node must be an int, got {type(query).__name__}")
-        return int(query)
 
     def __repr__(self) -> str:
         return (

@@ -110,6 +110,7 @@ class MonteCarlo(SimRankEstimator):
             exact=False,
             index_based=False,
             supports_dynamic=True,
+            parallel_safe=True,
         )
 
     # ------------------------------------------------------------------ #

@@ -105,6 +105,7 @@ class TopSim(SimRankEstimator):
             exact=False,
             index_based=False,
             supports_dynamic=True,
+            parallel_safe=True,
         )
 
     @property

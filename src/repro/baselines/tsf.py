@@ -125,6 +125,7 @@ class TSFIndex(SimRankEstimator):
             index_based=True,
             supports_dynamic=True,
             incremental_updates=True,
+            parallel_safe=True,
         )
 
     def _reverse_adjacency(self, index: int) -> tuple[np.ndarray, np.ndarray]:

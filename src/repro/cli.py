@@ -164,6 +164,7 @@ def methods_table_rows(markdown: bool = False) -> list[dict[str, str]]:
             "dynamic": "yes" if row["dynamic"] else "no",
             "incremental": "yes" if row["incremental"] else "no",
             "vectorized": "yes" if row["vectorized"] else "no",
+            "parallel": "yes" if row["parallel"] else "no",
         }
         if markdown:
             rendered["config keys"] = ", ".join(
@@ -212,12 +213,13 @@ def _cmd_workload(args) -> int:
     result = run_workload(
         graph, trace, methods, configs=configs,
         workers=args.workers, sync_every=args.sync_every,
+        executor=args.executor, cache_size=args.cache_size,
     )
     print(format_table(
         result.rows(),
         title=(f"workload: {trace.num_queries} queries / {trace.num_updates} "
                f"updates, read_fraction={args.read_fraction}, "
-               f"workers={args.workers}"),
+               f"workers={args.workers}, executor={args.executor}"),
     ))
     if args.json:
         path = write_json_report(args.json, result.to_dict())
@@ -285,7 +287,14 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--update-batch", type=int, default=4, dest="update_batch",
                           help="max update arrival-batch size")
     workload.add_argument("--workers", type=int, default=1,
-                          help="query-side thread-pool width (one replica each)")
+                          help="query-side pool width (one replica each)")
+    workload.add_argument("--executor", default="thread",
+                          choices=("thread", "process"),
+                          help="replica pool: GIL-bound threads, or worker "
+                               "processes over a shared-memory graph")
+    workload.add_argument("--cache-size", type=int, default=0, dest="cache_size",
+                          help="update-aware single-source result cache "
+                               "capacity (0 disables)")
     workload.add_argument("--sync-every", type=int, default=1, dest="sync_every",
                           help="sync bulk estimators every N update batches")
     workload.add_argument("--seed", type=int, default=None,

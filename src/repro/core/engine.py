@@ -133,6 +133,7 @@ class ProbeSim(SimRankEstimator):
             index_based=False,
             supports_dynamic=True,
             vectorized=self.config.resolved_engine() == "batched",
+            parallel_safe=True,
         )
 
     def single_source(self, query: int) -> SimRankResult:

@@ -94,6 +94,7 @@ class AdaptiveTopK(SimRankEstimator):
             exact=False,
             index_based=False,
             supports_dynamic=True,
+            parallel_safe=True,
         )
 
     def topk(self, query: int, k: int) -> TopKResult:

@@ -133,6 +133,7 @@ class WalkIndex(SimRankEstimator):
             index_based=True,
             supports_dynamic=True,
             incremental_updates=True,
+            parallel_safe=True,
         )
 
     def apply_updates(self, updates) -> None:

@@ -32,6 +32,18 @@ from scipy import sparse
 from repro.errors import GraphError, NodeNotFoundError
 from repro.graph.digraph import DiGraph
 
+#: canonical field order and dtypes of a CSR snapshot's shareable payload.
+#: The 8-byte ``indptr`` arrays come first so every array starts at an
+#: 8-byte-aligned offset when the fields are packed back to back into one
+#: flat buffer (the layout :mod:`repro.parallel.shm` maps into
+#: ``multiprocessing.shared_memory``).
+SHM_LAYOUT = (
+    ("out_indptr", np.int64),
+    ("in_indptr", np.int64),
+    ("out_indices", np.int32),
+    ("in_indices", np.int32),
+)
+
 
 class CSRGraph:
     """Immutable CSR snapshot of a :class:`DiGraph`.
@@ -224,6 +236,22 @@ class CSRGraph:
     # ------------------------------------------------------------------ #
     # misc
     # ------------------------------------------------------------------ #
+
+    def shm_payload(self) -> dict[str, np.ndarray]:
+        """The adjacency arrays in the canonical shareable form.
+
+        Returns ``{field: array}`` for every ``SHM_LAYOUT`` field, each
+        C-contiguous and normalised to the canonical dtype (a no-copy
+        passthrough for snapshots built by :meth:`from_digraph`).  This is
+        the exact byte payload :class:`repro.parallel.shm.SharedCSRGraph`
+        places in shared memory; a snapshot is reconstructed zero-copy on
+        the other side by handing the mapped views straight back to
+        :class:`CSRGraph`.
+        """
+        return {
+            field: np.ascontiguousarray(getattr(self, field), dtype=dtype)
+            for field, dtype in SHM_LAYOUT
+        }
 
     def payload_bytes(self) -> int:
         """Bytes of the raw adjacency arrays (the 'graph size' of Table 4)."""

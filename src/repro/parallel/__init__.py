@@ -1,0 +1,38 @@
+"""Shared-memory multiprocess serving: the scale-out layer.
+
+The sequential :class:`~repro.api.service.SimRankService` tops out at one
+core for pure-Python estimators (the GIL serialises their interpreter
+work).  This package lifts serving to process-level parallelism while
+keeping the graph physically shared:
+
+:mod:`~repro.parallel.shm`
+    :class:`~repro.parallel.shm.SharedCSRGraph` — CSR adjacency arrays in
+    ``multiprocessing.shared_memory``, reattached zero-copy in workers,
+    versioned by a generation counter (the *epoch*) so workers detect
+    graph changes.
+:mod:`~repro.parallel.pool`
+    :class:`~repro.parallel.pool.ParallelSimRankService` — the same
+    query/maintenance surface as the sequential service, fanned out over a
+    persistent worker-process pool with batched deterministic dispatch and
+    worker-crash recovery.
+:mod:`~repro.parallel.cache`
+    :class:`~repro.parallel.cache.ResultCache` — an update-aware LRU for
+    single-source results keyed ``(method, query, epoch)``, invalidated by
+    epoch bumps.
+
+Entry points: ``repro workload --executor process`` on the CLI and
+``benchmarks/bench_parallel_service.py`` in the harness.
+"""
+
+from repro.parallel.cache import CacheStats, ResultCache
+from repro.parallel.pool import ParallelSimRankService, derive_replica_config
+from repro.parallel.shm import SharedCSRGraph, ShmGraphDescriptor
+
+__all__ = [
+    "CacheStats",
+    "ParallelSimRankService",
+    "ResultCache",
+    "SharedCSRGraph",
+    "ShmGraphDescriptor",
+    "derive_replica_config",
+]

@@ -1,0 +1,154 @@
+"""Update-aware LRU cache for single-source SimRank results.
+
+Serving traffic is Zipf-skewed: a small set of hot query nodes dominates
+the request mix (the workload generator reproduces exactly this shape).
+Once a hot query has been answered, re-answering it costs a full round of
+√c-walk sampling and probing — unless the graph changed, the previous
+answer is just as good.  :class:`ResultCache` memoizes single-source
+results under the key ``(method, query, epoch)``:
+
+``method``
+    The service-local method name the answer came from — two mounted
+    methods never share answers.
+``query``
+    The query node id.
+``epoch``
+    The graph generation the answer was computed against.  Every
+    :meth:`~repro.parallel.pool.ParallelSimRankService.sync` bumps the
+    service epoch, so entries from before a graph mutation can never be
+    served afterwards — the cache is *update-aware* by construction.
+    :meth:`ResultCache.invalidate_older` purges the dead generations
+    eagerly (and counts them), keeping capacity for live entries.
+
+The cache is coordinator-side and thread-safe: the workload driver's
+thread executor probes it from many threads, the process executor from the
+dispatch loop.  Capacity is bounded by LRU eviction; ``capacity == 0``
+disables caching entirely (every :meth:`ResultCache.get` misses).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Operational counters of one :class:`ResultCache`.
+
+    ``invalidations`` counts entries purged because their graph epoch was
+    superseded (the update-aware path); ``evictions`` counts entries pushed
+    out by the LRU capacity bound.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of :meth:`ResultCache.get` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready counter snapshot (workload reports embed this)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """Bounded LRU map ``(method, query, epoch) -> result``.
+
+    The cached value is opaque to the cache (the serving layers store
+    :class:`~repro.core.results.SimRankResult` objects).  All operations
+    are O(1) and guarded by one lock; see the module docstring for the
+    keying discipline.
+
+    >>> cache = ResultCache(capacity=2)
+    >>> cache.put("probesim", 4, 0, "answer")
+    >>> cache.get("probesim", 4, 0)
+    'answer'
+    >>> cache.get("probesim", 4, 1) is None  # epoch bumped: miss
+    True
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple[str, int, int], object] = OrderedDict()
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """False for the ``capacity == 0`` no-op configuration."""
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, method: str, query: int, epoch: int):
+        """The cached result for the key, or ``None`` (counted either way)."""
+        if not self.enabled:
+            return None
+        key = (method, int(query), int(epoch))
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            return None
+
+    def put(self, method: str, query: int, epoch: int, result) -> None:
+        """Insert (or refresh) one entry, evicting LRU past capacity."""
+        if not self.enabled:
+            return
+        key = (method, int(query), int(epoch))
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate_older(self, epoch: int) -> int:
+        """Purge every entry from a generation before ``epoch``.
+
+        Entries keyed to older epochs can never hit again (lookups always
+        use the current epoch); purging them eagerly frees capacity and
+        makes the update-aware behaviour observable in the counters.
+        Returns the number of entries invalidated.
+        """
+        with self._lock:
+            dead = [key for key in self._entries if key[2] < epoch]
+            for key in dead:
+                del self._entries[key]
+            self.stats.invalidations += len(dead)
+            return len(dead)
+
+    def clear(self) -> None:
+        """Drop every entry without touching the counters."""
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(capacity={self.capacity}, size={len(self._entries)}, "
+            f"hit_rate={self.stats.hit_rate:.2f})"
+        )

@@ -1,0 +1,788 @@
+"""Process-parallel SimRank serving over a shared-memory graph.
+
+:class:`ParallelSimRankService` is the multi-core sibling of
+:class:`~repro.api.service.SimRankService`: the same query/maintenance
+surface (``single_source`` / ``topk`` / ``single_source_many`` /
+``topk_many`` / ``apply_edges`` / ``sync``), but queries execute on a
+persistent pool of **worker processes**, so sustained throughput scales
+with cores instead of being GIL-bound.  The design separates shared data
+from per-worker compute:
+
+Shared graph
+    The coordinator owns one :class:`~repro.parallel.shm.SharedCSRGraph`;
+    every worker maps the adjacency arrays zero-copy
+    (:mod:`repro.parallel.shm`).  Graph mutations stay coordinator-side;
+    :meth:`ParallelSimRankService.sync` publishes a new graph *epoch* and
+    barriers every worker onto it before the old generation is unlinked, so
+    readers never see a half-applied update batch.
+
+Worker replicas
+    Each worker builds its own estimator replica per mounted method, seeded
+    ``base_seed + worker_index`` (the same replica-derivation rule as the
+    thread-pool workload driver), and rebuilds them at every epoch — RNG
+    streams restart per epoch, which is what makes crash recovery exact.
+
+Deterministic dispatch
+    Batches are deduplicated, probed against the result cache, and the
+    misses split positionally (``misses[w::workers]``) across workers; every
+    worker consumes its share in order and results merge back in global
+    batch order.  Replica results are therefore a pure function of
+    ``(graph, configs, workers, call sequence)`` — bit-identical across
+    runs, and bit-identical to ``executor="sequential"``, which replays the
+    exact same partition/replay/rebuild schedule in-process (the oracle the
+    correctness suite compares against).
+
+Crash recovery
+    A worker that dies mid-flight is respawned, rebuilt against the live
+    epoch, and fast-forwarded by replaying the query sequence it had served
+    since the last pool rebuild (recorded coordinator-side); the pending
+    share is then re-dispatched.  Because replica RNG restarts at each
+    rebuild, the replay reproduces the dead worker's stream exactly — a
+    crash changes no answer, only latency.  The replay log is bounded: after
+    ``history_limit`` queries on any worker the pool is proactively rebuilt
+    in place (same graph, fresh deterministic streams), so update-free
+    serving never accumulates unbounded history or unbounded recovery cost.
+
+Result caching
+    An update-aware LRU (:mod:`repro.parallel.cache`) keyed
+    ``(method, query, epoch)`` answers repeat hot-key queries without
+    touching a worker; epoch bumps invalidate stale generations.  Note the
+    cache returns the *first* computed estimate for a key — for randomized
+    estimators any sample within the ``eps_a`` guarantee is a valid answer,
+    so hits stay inside the paper's accuracy contract.
+
+What does **not** carry over from the sequential service: per-update
+incremental maintenance (``capabilities().incremental_updates``).  Workers
+cannot observe coordinator-side mutations, so every method pays the epoch
+rebuild on :meth:`~ParallelSimRankService.sync`; methods whose registry
+capabilities set ``parallel_safe=False`` (rebuild-heavy static indexes) are
+rejected at mount time unless ``allow_unsafe=True``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from typing import Iterable, Sequence
+
+from repro.api.registry import get_entry
+from repro.api.service import QueryServiceBase
+from repro.errors import ConfigurationError, QueryError
+from repro.graph.csr import CSRGraph, as_csr
+from repro.graph.digraph import DiGraph
+from repro.graph.dynamic import EdgeUpdate, apply_update
+from repro.parallel.cache import ResultCache
+from repro.parallel.shm import SharedCSRGraph
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ParallelSimRankService", "WorkerCrashed", "derive_replica_config"]
+
+#: executors the service can run its workers on.
+EXECUTORS = ("process", "sequential")
+
+
+class WorkerCrashed(RuntimeError):
+    """Internal signal: a worker process died; the dispatcher will revive it."""
+
+
+def derive_replica_config(entry, config: dict, worker: int) -> dict:
+    """Per-replica method configuration: offset the seed by ``worker``.
+
+    Replica ``i`` of any run draws the same RNG stream — the single rule
+    both the thread-pool workload driver and this service's workers use, so
+    the two executors agree query-for-query wherever their schedules match.
+    """
+    config = dict(config)
+    if "seed" in entry.config_keys:
+        base = config.get("seed", 0) or 0
+        config["seed"] = int(base) + worker
+    return config
+
+
+# --------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------- #
+
+
+class _WorkerCore:
+    """One worker's estimator replicas; the logic shared by both executors.
+
+    ``source`` is either a :class:`~repro.parallel.shm.ShmGraphDescriptor`
+    (process executor — the core attaches the shared segment) or a
+    :class:`CSRGraph` (sequential executor — used directly).  Everything
+    downstream of that choice is identical, which is what makes the
+    sequential executor a bit-exact oracle for the process one.
+    """
+
+    def __init__(self, worker_index: int) -> None:
+        self.worker_index = worker_index
+        self.shared: SharedCSRGraph | None = None
+        self.csr: CSRGraph | None = None
+        self.estimators: dict[str, object] = {}
+        self.mounts: list[tuple[str, str, dict]] = []
+
+    def _graph_from(self, source) -> CSRGraph:
+        if isinstance(source, CSRGraph):
+            return source
+        if self.shared is None:
+            self.shared = SharedCSRGraph.attach(source)
+        else:
+            self.shared.reattach(source)
+        return self.shared.graph
+
+    def build(self, source, mounts: list[tuple[str, str, dict]]) -> None:
+        """Mount every replica against ``source`` (fresh RNG streams)."""
+        self.mounts = list(mounts)
+        # drop old replicas AND the old graph before reattaching: the old
+        # segment is unmapped underneath any view that survives this point
+        self.estimators = {}
+        self.csr = None
+        self.csr = self._graph_from(source)
+        for key, name, config in self.mounts:
+            self.estimators[key] = get_entry(name).build(self.csr, **config)
+
+    def rebuild(self, source) -> None:
+        """Epoch bump: reattach the new generation and rebuild replicas."""
+        self.build(source, self.mounts)
+
+    def query(self, key: str, kind: str, k: int | None, ops):
+        """Answer ``(op_id, node)`` ops in order with the ``key`` replica."""
+        estimator = self.estimators[key]
+        if kind == "topk":
+            return [(op_id, estimator.topk(node, k)) for op_id, node in ops]
+        return [(op_id, estimator.single_source(node)) for op_id, node in ops]
+
+    def shutdown(self) -> None:
+        self.estimators = {}
+        self.csr = None
+        if self.shared is not None:
+            self.shared.close()
+            self.shared = None
+
+
+def _worker_main(conn, worker_index: int) -> None:  # pragma: no cover
+    """Process-executor entry point: serve RPCs until ``exit`` or EOF.
+
+    Estimator-level exceptions are caught and shipped back as ``("error",
+    …)`` replies — the worker survives them; only interpreter-level faults
+    (or ``kill -9``) take it down, and those the coordinator heals.
+
+    (Excluded from coverage: this body runs inside worker processes, out of
+    the tracer's sight; the multiprocess suite exercises it end to end and
+    the sequential executor keeps the shared `_WorkerCore` logic measured.)
+    """
+    core = _WorkerCore(worker_index)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            command, payload = message
+            try:
+                if command == "build":
+                    core.build(*payload)
+                    reply = ("ok", None)
+                elif command == "epoch":
+                    core.rebuild(payload)
+                    reply = ("ok", None)
+                elif command == "query":
+                    reply = ("ok", core.query(*payload))
+                elif command == "ping":
+                    reply = ("ok", worker_index)
+                elif command == "exit":
+                    conn.send(("ok", None))
+                    break
+                else:  # pragma: no cover - protocol misuse
+                    reply = ("error", ("ValueError", f"unknown command {command!r}", ""))
+            except BaseException as exc:  # noqa: BLE001 - shipped to coordinator
+                reply = ("error", (type(exc).__name__, str(exc), traceback.format_exc()))
+            conn.send(reply)
+    finally:
+        core.shutdown()
+        conn.close()
+
+
+class _ProcessWorker:
+    """Coordinator-side handle for one worker process (pipe + liveness)."""
+
+    def __init__(self, ctx, index: int) -> None:
+        self.index = index
+        self.conn, child = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_worker_main, args=(child, index), daemon=True,
+            name=f"repro-parallel-w{index}",
+        )
+        self.process.start()
+        child.close()  # coordinator keeps only its end; EOF propagates cleanly
+
+    def send(self, message) -> None:
+        try:
+            self.conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashed(f"worker {self.index} pipe closed") from exc
+
+    def recv(self, timeout: float):
+        deadline = time.monotonic() + timeout
+        while not self.conn.poll(0.02):
+            if not self.process.is_alive():
+                raise WorkerCrashed(f"worker {self.index} died")
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"worker {self.index} did not reply within {timeout}s"
+                )
+        try:
+            return self.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerCrashed(f"worker {self.index} died mid-reply") from exc
+
+    def close(self, force: bool = False) -> None:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if force and self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.kill()
+            self.process.join(timeout=5.0)
+
+
+class _InlineWorker:
+    """Sequential-executor handle: same RPC surface, runs in-process."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.core = _WorkerCore(index)
+        self._reply = None
+
+    def send(self, message) -> None:
+        command, payload = message
+        try:
+            if command == "build":
+                self.core.build(*payload)
+                self._reply = ("ok", None)
+            elif command == "epoch":
+                self.core.rebuild(payload)
+                self._reply = ("ok", None)
+            elif command == "query":
+                self._reply = ("ok", self.core.query(*payload))
+            elif command in ("ping", "exit"):
+                self._reply = ("ok", None)
+            else:  # pragma: no cover - protocol misuse
+                self._reply = ("error", ("ValueError", f"unknown {command!r}", ""))
+        except Exception as exc:
+            self._reply = ("error", (type(exc).__name__, str(exc), traceback.format_exc()))
+
+    def recv(self, timeout: float):
+        del timeout
+        reply, self._reply = self._reply, None
+        return reply
+
+    def close(self, force: bool = False) -> None:
+        del force
+        self.core.shutdown()
+
+
+# --------------------------------------------------------------------- #
+# coordinator side
+# --------------------------------------------------------------------- #
+
+
+class ParallelSimRankService(QueryServiceBase):
+    """Multiprocess SimRank serving: shared graph, worker pool, result cache.
+
+    >>> from repro.graph import DiGraph
+    >>> g = DiGraph.from_edges([(0, 1), (1, 0), (2, 0), (2, 1)])
+    >>> with ParallelSimRankService(
+    ...     g, methods=("probesim",), workers=2, executor="sequential",
+    ...     configs={"probesim": {"eps_a": 0.2, "seed": 7}},
+    ... ) as service:
+    ...     service.single_source(0).score(0)
+    1.0
+
+    Parameters
+    ----------
+    graph:
+        A mutable :class:`DiGraph` (enables :meth:`apply_edges`) or a frozen
+        :class:`CSRGraph` (read-only service).
+    methods:
+        Registry names to mount; each worker builds one replica per method.
+        Methods whose capabilities declare ``parallel_safe=False`` are
+        rejected unless ``allow_unsafe=True``.
+    configs / default_method:
+        As on :class:`~repro.api.service.SimRankService`.
+    workers:
+        Pool width (positive).  Throughput scales with cores for the
+        ``process`` executor; ``sequential`` ignores parallelism but keeps
+        the identical dispatch schedule (the determinism oracle).
+    cache_size:
+        Capacity of the coordinator-side update-aware result cache
+        (``0`` disables it).
+    auto_sync:
+        When True (default) :meth:`apply_edges` immediately publishes a new
+        epoch; when False the caller flushes with :meth:`sync`.
+    executor:
+        ``"process"`` (default) or ``"sequential"``.
+    start_method:
+        ``multiprocessing`` start method for the process executor
+        (default: ``fork`` where available, else ``spawn``).
+    rpc_timeout:
+        Seconds to wait on a worker reply before the worker is treated as
+        hung and replaced (a liveness backstop, not a latency budget).
+    history_limit:
+        Queries any one worker may serve before the pool is proactively
+        rebuilt in place, bounding crash-recovery replay cost and the
+        coordinator-side history memory.  The trigger depends only on the
+        call sequence, so rollovers preserve bit-reproducibility.
+
+    Always :meth:`close` the service (or use it as a context manager):
+    that tears down the pool and unlinks the shared-memory segments.  A
+    finalizer on the shared graph unlinks the segments even if ``close`` is
+    never called, so crashes cannot leak ``/dev/shm`` entries.
+    """
+
+    def __init__(
+        self,
+        graph,
+        methods: Sequence[str] = ("probesim",),
+        configs: dict[str, dict] | None = None,
+        default_method: str | None = None,
+        workers: int = 2,
+        cache_size: int = 0,
+        auto_sync: bool = True,
+        executor: str = "process",
+        start_method: str | None = None,
+        allow_unsafe: bool = False,
+        rpc_timeout: float = 300.0,
+        history_limit: int = 10_000,
+    ) -> None:
+        check_positive_int("workers", workers)
+        check_positive_int("history_limit", history_limit)
+        if executor not in EXECUTORS:
+            raise ConfigurationError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
+        if not methods:
+            raise ConfigurationError("need at least one method to serve")
+        super().__init__(graph, default_method=default_method)
+        self.workers = int(workers)
+        self.executor = executor
+        self.auto_sync = auto_sync
+        self.rpc_timeout = float(rpc_timeout)
+        self.history_limit = int(history_limit)
+        self.cache = ResultCache(cache_size)
+        self._digraph = graph if isinstance(graph, DiGraph) else None
+        self._mounts: dict[str, tuple[str, dict]] = {}
+        configs = self._validate_configs(configs, methods)
+        for name in methods:
+            entry = get_entry(name)
+            caps = entry.capabilities
+            if caps is not None and not caps.parallel_safe and not allow_unsafe:
+                raise ConfigurationError(
+                    f"method {name!r} is not parallel_safe (its per-worker "
+                    "epoch rebuild is impractical); pass allow_unsafe=True "
+                    "to mount it anyway"
+                )
+            config = dict(configs.get(name, {}))
+            unknown = sorted(set(config) - set(entry.config_keys))
+            if unknown:  # fail fast here, not inside a worker build
+                raise ConfigurationError(
+                    f"method {name!r} does not accept config keys {unknown}; "
+                    f"allowed: {sorted(entry.config_keys)}"
+                )
+            self._mounts[name] = (name, config)
+        if self._default is None:
+            self._default = next(iter(self._mounts))
+        elif self._default not in self._mounts:
+            raise ConfigurationError(
+                f"default_method {self._default!r} is not among "
+                f"{sorted(self._mounts)}"
+            )
+
+        self._epoch = 0
+        self._graph_stale = False
+        self._closed = False
+        self._single_rr = 0  # round-robin cursor for lone single_source calls
+        self._histories: list[list[tuple[str, str, int, int | None]]] = [
+            [] for _ in range(self.workers)
+        ]
+        self._shm: SharedCSRGraph | None = None
+        self._csr: CSRGraph | None = None
+        self._workers: list = []
+        try:
+            csr = as_csr(graph)
+            self._num_nodes = csr.num_nodes
+            if executor == "process":
+                self._shm = SharedCSRGraph.create(csr)
+                self._epoch = self._shm.current_epoch()
+            else:
+                self._csr = csr
+            if start_method is None:
+                available = multiprocessing.get_all_start_methods()
+                start_method = "fork" if "fork" in available else "spawn"
+            self._ctx = multiprocessing.get_context(start_method)
+            for index in range(self.workers):
+                self._workers.append(self._spawn(index))
+            for index in range(self.workers):
+                self._build_worker(index)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # pool plumbing
+    # ------------------------------------------------------------------ #
+
+    def _method_keys(self) -> Iterable[str]:
+        return self._mounts
+
+    def _spawn(self, index: int):
+        if self.executor == "sequential":
+            return _InlineWorker(index)
+        return _ProcessWorker(self._ctx, index)
+
+    def _worker_source(self):
+        """What workers build against: a descriptor (process) or the CSR."""
+        if self._shm is not None:
+            return self._shm.descriptor
+        return self._csr
+
+    def _worker_mounts(self, index: int) -> list[tuple[str, str, dict]]:
+        return [
+            (key, name, derive_replica_config(get_entry(name), config, index))
+            for key, (name, config) in self._mounts.items()
+        ]
+
+    def _build_worker(self, index: int) -> None:
+        worker = self._workers[index]
+        worker.send(("build", (self._worker_source(), self._worker_mounts(index))))
+        self._expect_ok(worker.recv(self.rpc_timeout))
+
+    def _revive(self, index: int) -> None:
+        """Respawn a dead worker and fast-forward it to the live RNG state.
+
+        The replay re-runs (and discards) every query the worker served
+        since the current epoch began; replica RNG restarts at each epoch,
+        so afterwards the replacement's streams match the dead worker's
+        exactly and determinism survives the crash.
+        """
+        self._workers[index].close(force=True)
+        self._workers[index] = self._spawn(index)
+        self._build_worker(index)
+        worker = self._workers[index]
+        for kind, key, node, k in self._histories[index]:
+            worker.send(("query", (key, kind, k, [(0, node)])))
+            self._expect_ok(worker.recv(self.rpc_timeout))
+        with self._stats_lock:
+            self.stats.worker_restarts += 1
+
+    def _rebarrier(self) -> None:
+        """Rebuild every worker against the current source, clearing the
+        replay histories (replica RNG streams restart deterministically)."""
+        self._histories = [[] for _ in range(self.workers)]
+        source = self._worker_source()
+        self._rpc_all({w: ("epoch", source) for w in range(self.workers)})
+
+    def _maybe_rollover(self) -> None:
+        """Bound the crash-replay history on update-free workloads.
+
+        Once any worker has served ``history_limit`` queries since the last
+        rebuild, the pool is rebuilt in place: same graph generation, fresh
+        per-worker RNG streams, empty histories.  The trigger is a pure
+        function of the call sequence, so results stay bit-reproducible;
+        cached answers stay valid because the graph epoch is unchanged.
+        """
+        if max(map(len, self._histories), default=0) >= self.history_limit:
+            self._rebarrier()
+
+    def _expect_ok(self, reply):
+        status, payload = reply
+        if status == "ok":
+            return payload
+        name, message, trace = payload
+        raise QueryError(
+            f"worker raised {name}: {message}\n--- worker traceback ---\n{trace}"
+        )
+
+    def _record_history(self, index: int, message) -> None:
+        """Append a successful query message's ops to the worker's history.
+
+        Recording happens the moment the worker's reply is confirmed — not
+        after the whole batch — so the replay log stays accurate even when
+        a batch-mate errors or crashes mid-dispatch.
+        """
+        command, payload = message
+        if command != "query":
+            return
+        key, kind, k, ops = payload
+        self._histories[index].extend((kind, key, node, k) for _, node in ops)
+
+    def _rpc_all(self, assignments: dict[int, tuple]) -> dict[int, object]:
+        """Send one message per worker, gather replies, healing crashes.
+
+        ``assignments`` maps worker index → message.  Crashed (or hung —
+        ``rpc_timeout`` is the liveness backstop) workers are revived and
+        their message re-sent.  Estimator-level errors raise only after
+        every in-flight reply has been drained, so the request/reply pipes
+        can never desynchronise.
+        """
+        pending = dict(assignments)
+        replies: dict[int, object] = {}
+        errors: list[BaseException] = []
+        attempts = 0
+        while pending:
+            attempts += 1
+            if attempts > 3 * max(len(assignments), 1):
+                raise QueryError("workers keep crashing; giving up dispatch")
+            sent = []
+            crashed = []
+            for index, message in pending.items():
+                try:
+                    self._workers[index].send(message)
+                    sent.append(index)
+                except WorkerCrashed:
+                    crashed.append(index)
+            for index in sent:
+                try:
+                    reply = self._workers[index].recv(self.rpc_timeout)
+                except (WorkerCrashed, TimeoutError):
+                    # a hung worker is indistinguishable from a dead one,
+                    # and its late reply would poison the pipe: replace it
+                    crashed.append(index)
+                    continue
+                del pending[index]
+                try:
+                    replies[index] = self._expect_ok(reply)
+                    self._record_history(index, assignments[index])
+                except QueryError as exc:
+                    errors.append(exc)  # drain the rest before raising
+            for index in crashed:
+                try:
+                    self._revive(index)
+                except (WorkerCrashed, TimeoutError):
+                    # the replacement died during build/replay too; its
+                    # message is still pending, so the next attempt retries
+                    # (and eventually trips the attempts cap above) instead
+                    # of leaking the internal crash signal to callers
+                    continue
+        if errors:
+            raise errors[0]
+        return replies
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def single_source(self, query: int, method: str | None = None):
+        """One single-source query (cache-probed, one worker round-trip)."""
+        key = self._resolve_method(method)
+        node = self._check_query_node(query)
+        self._maybe_rollover()
+        with self._stats_lock:
+            self.stats.queries += 1
+        cached = self.cache.get(key, node, self._epoch)
+        if cached is not None:
+            return cached
+        index = self._single_rr % self.workers
+        self._single_rr += 1
+        records = self._rpc_all(
+            {index: ("query", (key, "single_source", None, [(0, node)]))}
+        )[index]
+        result = records[0][1]
+        self.cache.put(key, node, self._epoch, result)
+        return result
+
+    def topk(self, query: int, k: int, method: str | None = None):
+        """One top-k query via the estimator's native top-k path.
+
+        Dispatching ``topk`` (rather than slicing a cached single-source
+        answer) preserves estimator-specific top-k behaviour such as
+        adaptive early stopping; it therefore bypasses the result cache.
+        """
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        key = self._resolve_method(method)
+        node = self._check_query_node(query)
+        self._maybe_rollover()
+        with self._stats_lock:
+            self.stats.queries += 1
+        index = self._single_rr % self.workers
+        self._single_rr += 1
+        records = self._rpc_all(
+            {index: ("query", (key, "topk", int(k), [(0, node)]))}
+        )[index]
+        return records[0][1]
+
+    def single_source_many(
+        self, queries: Sequence[int], method: str | None = None
+    ) -> list:
+        """A deduplicated batch, fanned out positionally across the pool.
+
+        Distinct cache-missing queries are split ``misses[w::workers]``;
+        worker ``w`` answers its share in order and the results merge back
+        deterministically.  Duplicates and cache hits share answers.
+        """
+        key = self._resolve_method(method)
+        batch = [self._check_query_node(query) for query in queries]
+        self._maybe_rollover()
+        distinct = list(dict.fromkeys(batch))
+        by_query: dict[int, object] = {}
+        misses = []
+        for node in distinct:
+            cached = self.cache.get(key, node, self._epoch)
+            if cached is not None:
+                by_query[node] = cached
+            else:
+                misses.append(node)
+        ops = list(enumerate(misses))
+        assignments = {
+            w: ("query", (key, "single_source", None, ops[w :: self.workers]))
+            for w in range(self.workers)
+            if ops[w :: self.workers]
+        }
+        replies = self._rpc_all(assignments)
+        merged = sorted(
+            (op_id, result) for records in replies.values()
+            for op_id, result in records
+        )
+        for op_id, result in merged:
+            node = misses[op_id]
+            by_query[node] = result
+            self.cache.put(key, node, self._epoch, result)
+        with self._stats_lock:
+            self.stats.queries += len(batch)
+            self.stats.batches += 1
+            self.stats.batched_queries += len(batch)
+            self.stats.batched_unique += len(distinct)
+        return [by_query[node] for node in batch]
+
+    # topk_many comes from QueryServiceBase: top-k views of the batched
+    # single-source path, exactly like the sequential service.
+
+    def capabilities(self, method: str | None = None):
+        """Registry-declared capability descriptor of one served method."""
+        name, _ = self._mounts[self._resolve_method(method)]
+        return get_entry(name).capabilities
+
+    # ------------------------------------------------------------------ #
+    # dynamic maintenance
+    # ------------------------------------------------------------------ #
+
+    @property
+    def epoch(self) -> int:
+        """The graph generation queries are currently answered against."""
+        return self._epoch
+
+    def apply_edges(
+        self,
+        added: Iterable[tuple[int, int]] = (),
+        removed: Iterable[tuple[int, int]] = (),
+    ) -> int:
+        """Apply edge insertions then deletions; maintain via :meth:`sync`."""
+        updates = [EdgeUpdate("insert", int(s), int(t)) for s, t in added]
+        updates += [EdgeUpdate("delete", int(s), int(t)) for s, t in removed]
+        return self.apply_update_stream(updates)
+
+    def apply_update_stream(self, updates: Iterable[EdgeUpdate]) -> int:
+        """Apply an ordered update stream to the coordinator's graph.
+
+        Workers keep serving the previous epoch until :meth:`sync`
+        publishes the new one (immediately under ``auto_sync``).  Unlike
+        the sequential service there is no per-update incremental path —
+        worker processes cannot observe coordinator-side mutations, so
+        every mounted method is maintained by the epoch rebuild.
+        """
+        if self._digraph is None:
+            raise ConfigurationError(
+                "apply_edges needs a mutable DiGraph; this service owns a "
+                "frozen snapshot"
+            )
+        count = 0
+        try:
+            for update in updates:
+                apply_update(self._digraph, update)
+                self._graph_stale = True
+                count += 1
+        finally:
+            self.stats.updates_applied += count
+            if count and self.auto_sync:
+                self.sync()
+        return count
+
+    def sync(self) -> None:
+        """Publish the mutated graph as a new epoch and rebarrier the pool.
+
+        Snapshots the coordinator graph, publishes it (new shared-memory
+        generation for the process executor), rebuilds every worker's
+        replicas against it, invalidates superseded cache entries, and only
+        then unlinks the previous generation.  Idempotent when nothing
+        changed.  Wall-clock is charged to ``stats.maintenance_seconds``
+        split evenly across the mounted methods.
+        """
+        if not self._graph_stale:
+            return
+        started = time.perf_counter()
+        csr = CSRGraph.from_digraph(self._digraph)
+        self._num_nodes = csr.num_nodes
+        old_epoch = self._epoch
+        if self._shm is not None:
+            self._epoch = self._shm.publish(csr)
+        else:
+            self._csr = csr
+            self._epoch = old_epoch + 1
+        self._rebarrier()
+        if self._shm is not None:
+            self._shm.release_epoch(old_epoch)
+        self.cache.invalidate_older(self._epoch)
+        self._graph_stale = False
+        elapsed = time.perf_counter() - started
+        with self._stats_lock:
+            self.stats.syncs += 1
+            self.stats.epochs += 1
+            for key in self._mounts:
+                self.stats.charge_maintenance(key, elapsed / len(self._mounts))
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _check_query_node(self, query) -> int:
+        node = self._check_query_id(query)
+        if not 0 <= node < self._num_nodes:
+            raise QueryError(
+                f"query node {node} out of range [0, {self._num_nodes})"
+            )
+        return node
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared-memory segment."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.send(("exit", None))
+                worker.recv(5.0)
+            except (WorkerCrashed, TimeoutError):
+                pass
+            worker.close(force=True)
+        self._workers = []
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def __enter__(self) -> "ParallelSimRankService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelSimRankService(methods={self.methods}, "
+            f"workers={self.workers}, executor={self.executor!r}, "
+            f"epoch={self._epoch}, queries={self.stats.queries})"
+        )

@@ -1,4 +1,4 @@
-"""Replay a workload trace against a :class:`~repro.api.service.SimRankService`.
+"""Replay a workload trace against a SimRank serving layer.
 
 This is the heavy-traffic half of the paper's dynamic-graph experiment: one
 driver replays the *same* :class:`~repro.workloads.generator.WorkloadTrace`
@@ -8,18 +8,32 @@ the update stream, maintenance cost, and read staleness.
 
 Execution model
 ---------------
-Per method, the driver builds one service on a fresh copy of the graph and
-mounts ``workers`` *replicas* of the method (``alias=f"{method}#w{i}"``,
-each with a seed derived from the method seed), because estimators own
-mutable RNG/scratch state and must be driven by one thread at a time.  The
-trace is replayed batch by batch:
+Two executors replay the trace batch by batch:
 
-- a **query batch** is split round-robin by position across the replicas
-  and executed on a thread pool (one task per replica; the batched engine's
-  sparse matmuls release the GIL, so replicas overlap);
-- an **update batch** is applied on the coordinator thread through
-  :meth:`~repro.api.service.SimRankService.apply_update_stream` — a batch
-  barrier separates updates from queries, which keeps replay deterministic.
+``executor="thread"``
+    One :class:`~repro.api.service.SimRankService` per method, mounting
+    ``workers`` estimator *replicas* (``alias=f"{method}#w{i}"``, seeds
+    derived per replica).  Each query batch is deduplicated (duplicates
+    share their batch-mate's answer, the services' batching rule) and the
+    distinct queries split round-robin by position across the replicas on
+    a thread pool.  Replicas overlap only where kernels release the GIL —
+    this is the single-process ceiling.
+``executor="process"``
+    One :class:`~repro.parallel.pool.ParallelSimRankService` per method:
+    the same positional split, but across worker *processes* answering
+    against a shared-memory graph — throughput scales with cores.  Updates
+    are maintained by graph-epoch rebuilds (no per-update incremental
+    path), so ``staleness`` counts unsynced updates for every method.
+
+Result caching
+--------------
+``cache_size > 0`` puts an update-aware LRU
+(:class:`~repro.parallel.cache.ResultCache`) in front of the query path,
+keyed ``(method, query, epoch)``.  The epoch advances whenever the serving
+state absorbs updates — per update batch for incremental estimators and
+under ``sync_every=1``, at sync flushes otherwise — so a cache hit is
+always exactly as fresh as the replica would be.  Hit/miss/invalidation
+counters land in each :class:`MethodReport`.
 
 Reproducibility
 ---------------
@@ -28,7 +42,10 @@ its ops in trace order, so every replica's RNG stream is a pure function of
 ``(trace, method config, workers)``.  The driver folds each result's score
 vector into a running digest in global op order; two runs with the same
 inputs produce bit-identical digests (asserted by the test suite), while
-wall-clock numbers of course vary.
+wall-clock numbers of course vary.  Cache hits reuse the digest fingerprint
+of the answer they were served from, so caching keeps runs bit-reproducible
+too (for fixed knobs); the two executors use different maintenance models,
+so their digests agree only on update-free traces.
 
 Staleness
 ---------
@@ -38,7 +55,7 @@ after every update batch and reads are always fresh.  With
 driver flushes every ``k`` update batches — each query then records how
 many applied-but-unsynced updates its answer may be missing.  Methods with
 ``capabilities().incremental_updates`` (TSF, the walk cache) are notified
-per update and never go stale.
+per update under the thread executor and never go stale.
 """
 
 from __future__ import annotations
@@ -55,11 +72,16 @@ from repro.api.registry import get_entry
 from repro.api.service import SimRankService
 from repro.errors import EvaluationError
 from repro.graph.digraph import DiGraph
+from repro.parallel.cache import ResultCache
+from repro.parallel.pool import ParallelSimRankService, derive_replica_config
 from repro.utils.validation import check_positive_int
 from repro.workloads.generator import WorkloadTrace
 from repro.workloads.stats import LatencyHistogram
 
 __all__ = ["MethodReport", "WorkloadResult", "run_workload"]
+
+#: executors the driver can replay on.
+EXECUTORS = ("thread", "process")
 
 
 @dataclass
@@ -68,17 +90,22 @@ class MethodReport:
 
     All times are wall-clock seconds.  ``digest`` is the order-sensitive
     hash of every query's score vector — the bit-reproducibility handle.
+    ``cache`` carries the result-cache counters (empty when caching is off).
     """
 
     method: str
     workers: int
     sync_every: int
+    executor: str = "thread"
+    cache_size: int = 0
     num_queries: int = 0
     num_updates: int = 0
     wall_seconds: float = 0.0
     maintenance_seconds: float = 0.0
     syncs: int = 0
     incremental_notifications: int = 0
+    worker_restarts: int = 0
+    cache: dict[str, object] = field(default_factory=dict)
     staleness_samples: list[int] = field(default_factory=list)
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
     digest: str = ""
@@ -108,7 +135,7 @@ class MethodReport:
 
     def as_row(self) -> dict[str, object]:
         """Flat dict row for table rendering (times in milliseconds)."""
-        return {
+        row = {
             "method": self.method,
             "queries": self.num_queries,
             "updates": self.num_updates,
@@ -120,6 +147,9 @@ class MethodReport:
             "maint_per_update_ms": self.maintenance_per_update * 1e3,
             "stale_mean": self.staleness_mean,
         }
+        if self.cache:
+            row["cache_hit"] = self.cache.get("hit_rate", 0.0)
+        return row
 
     def to_dict(self) -> dict[str, object]:
         """JSON-ready dict (full latency histogram included)."""
@@ -127,6 +157,8 @@ class MethodReport:
             "method": self.method,
             "workers": self.workers,
             "sync_every": self.sync_every,
+            "executor": self.executor,
+            "cache_size": self.cache_size,
             "num_queries": self.num_queries,
             "num_updates": self.num_updates,
             "wall_seconds": self.wall_seconds,
@@ -136,6 +168,8 @@ class MethodReport:
             "maintenance_per_update_s": self.maintenance_per_update,
             "syncs": self.syncs,
             "incremental_notifications": self.incremental_notifications,
+            "worker_restarts": self.worker_restarts,
+            "cache": dict(self.cache),
             "staleness_mean": self.staleness_mean,
             "staleness_max": self.staleness_max,
             "digest": self.digest,
@@ -165,35 +199,40 @@ class WorkloadResult:
         }
 
 
-def _derived_seed(config: dict, entry, worker: int) -> dict:
-    """Per-replica config: offset the seed so replica RNG streams differ
-    deterministically (replica ``i`` of any run draws the same stream)."""
-    config = dict(config)
-    if "seed" in entry.config_keys:
-        base = config.get("seed", 0) or 0
-        config["seed"] = int(base) + worker
-    return config
+def _fingerprint(scores: np.ndarray) -> bytes:
+    """16-byte digest fingerprint of one result's score vector."""
+    return blake2b(
+        np.ascontiguousarray(scores).tobytes(), digest_size=16
+    ).digest()
 
 
-def _replay_one(
+def _replay_thread(
     graph: DiGraph,
     trace: WorkloadTrace,
     method: str,
     config: dict,
     workers: int,
     sync_every: int,
+    cache_size: int,
 ) -> MethodReport:
-    """Replay ``trace`` for one method; see the module docstring for the model."""
+    """Thread-executor replay; see the module docstring for the model."""
     entry = get_entry(method)
     service = SimRankService(graph.copy(), methods=(), auto_sync=sync_every == 1)
     aliases = []
     for worker in range(workers):
         alias = f"{method}#w{worker}"
-        service.add_method(method, alias=alias, **_derived_seed(config, entry, worker))
+        service.add_method(
+            method, alias=alias, **derive_replica_config(entry, config, worker)
+        )
         aliases.append(alias)
     incremental = service.capabilities(aliases[0]).incremental_updates
 
-    report = MethodReport(method=method, workers=workers, sync_every=sync_every)
+    report = MethodReport(
+        method=method, workers=workers, sync_every=sync_every,
+        executor="thread", cache_size=cache_size,
+    )
+    cache = ResultCache(cache_size)
+    epoch = 0
     digest = blake2b(digest_size=16)
     unsynced_updates = 0
     batches_since_sync = 0
@@ -210,14 +249,120 @@ def _replay_one(
             started = time.perf_counter()
             result = service.single_source(node, method=alias)
             elapsed = time.perf_counter() - started
-            fingerprint = blake2b(
-                np.ascontiguousarray(result.scores).tobytes(), digest_size=16
-            ).digest()
-            records.append((op_id, node, elapsed, fingerprint))
+            records.append((op_id, node, elapsed, _fingerprint(result.scores)))
         return records
 
     wall_started = time.perf_counter()
     with ThreadPoolExecutor(max_workers=workers) as pool:
+        for batch in trace:
+            if batch.kind == "update":
+                service.apply_update_stream(batch.updates)
+                report.num_updates += len(batch.updates)
+                if incremental or sync_every == 1:
+                    epoch += 1  # replicas absorbed the batch: new cache epoch
+                if sync_every > 1:
+                    unsynced_updates += len(batch.updates)
+                    batches_since_sync += 1
+                    if batches_since_sync >= sync_every:
+                        service.sync()
+                        if not incremental:
+                            epoch += 1
+                        unsynced_updates = 0
+                        batches_since_sync = 0
+                cache.invalidate_older(epoch)
+                continue
+            # cache probe and batch dedup happen on the coordinator,
+            # *before* the split — the same discipline as both services'
+            # single_source_many — so replica RNG streams (and the digest)
+            # stay a pure function of the knobs: hot hits never reach a
+            # replica, and duplicate queries share one computation.
+            hit_records = []
+            unique_ops = []
+            dup_ops = []
+            dispatched: set[int] = set()
+            for position, node in enumerate(batch.queries):
+                op_id = batch.offset + position
+                started = time.perf_counter()
+                fingerprint = cache.get(method, node, epoch)
+                if fingerprint is not None:
+                    elapsed = time.perf_counter() - started
+                    hit_records.append((op_id, node, elapsed, fingerprint))
+                elif node in dispatched:
+                    dup_ops.append((op_id, node))
+                else:
+                    dispatched.add(node)
+                    unique_ops.append((op_id, node))
+            shares = [unique_ops[w::workers] for w in range(workers)]
+            futures = [
+                pool.submit(run_share, aliases[w], shares[w])
+                for w in range(workers)
+                if shares[w]
+            ]
+            merged = [record for future in futures for record in future.result()]
+            by_node = {}
+            for op_id, node, elapsed, fingerprint in merged:
+                by_node[node] = (elapsed, fingerprint)
+                cache.put(method, node, epoch, fingerprint)
+            # a duplicate waits on its batch-mate's computation: same answer,
+            # same latency, no replica work
+            merged += [(op, node) + by_node[node] for op, node in dup_ops]
+            merged += hit_records
+            merged.sort()  # deterministic global op order
+            for op_id, node, elapsed, fingerprint in merged:
+                digest.update(op_id.to_bytes(8, "little"))
+                digest.update(node.to_bytes(8, "little"))
+                digest.update(fingerprint)
+                report.latency.record(elapsed)
+                report.staleness_samples.append(0 if incremental else unsynced_updates)
+            report.num_queries += len(merged)
+    if sync_every > 1 and unsynced_updates:
+        service.sync()  # flush the tail so the service ends consistent
+    report.wall_seconds = time.perf_counter() - wall_started
+    report.maintenance_seconds = service.stats.total_maintenance_seconds
+    report.syncs = service.stats.syncs
+    report.incremental_notifications = service.stats.incremental_notifications
+    if cache.enabled:
+        report.cache = cache.stats.as_dict()
+    report.digest = digest.hexdigest()
+    return report
+
+
+def _replay_process(
+    graph: DiGraph,
+    trace: WorkloadTrace,
+    method: str,
+    config: dict,
+    workers: int,
+    sync_every: int,
+    cache_size: int,
+) -> MethodReport:
+    """Process-executor replay on a :class:`ParallelSimRankService`.
+
+    The service owns the positional split, the shared-memory epochs, and
+    the update-aware cache; the driver contributes the sync cadence and the
+    deterministic digest.  Per-op latency is the batch mean (results cross
+    a process boundary, so op timings are not individually observable from
+    the coordinator).
+    """
+    report = MethodReport(
+        method=method, workers=workers, sync_every=sync_every,
+        executor="process", cache_size=cache_size,
+    )
+    digest = blake2b(digest_size=16)
+    unsynced_updates = 0
+    batches_since_sync = 0
+
+    service = ParallelSimRankService(
+        graph.copy(),
+        methods=(method,),
+        configs={method: config},
+        workers=workers,
+        cache_size=cache_size,
+        auto_sync=sync_every == 1,
+        executor="process",
+    )
+    try:
+        wall_started = time.perf_counter()
         for batch in trace:
             if batch.kind == "update":
                 service.apply_update_stream(batch.updates)
@@ -230,28 +375,29 @@ def _replay_one(
                         unsynced_updates = 0
                         batches_since_sync = 0
                 continue
-            ops = [(batch.offset + i, node) for i, node in enumerate(batch.queries)]
-            shares = [ops[w::workers] for w in range(workers)]
-            futures = [
-                pool.submit(run_share, aliases[w], shares[w])
-                for w in range(workers)
-                if shares[w]
-            ]
-            merged = [record for future in futures for record in future.result()]
-            merged.sort()  # deterministic global op order
-            for op_id, node, elapsed, fingerprint in merged:
+            started = time.perf_counter()
+            results = service.single_source_many(batch.queries)
+            batch_seconds = time.perf_counter() - started
+            per_op = batch_seconds / max(len(results), 1)
+            for position, result in enumerate(results):
+                op_id = batch.offset + position
                 digest.update(op_id.to_bytes(8, "little"))
-                digest.update(node.to_bytes(8, "little"))
-                digest.update(fingerprint)
-                report.latency.record(elapsed)
-                report.staleness_samples.append(0 if incremental else unsynced_updates)
-            report.num_queries += len(ops)
-    if sync_every > 1 and unsynced_updates:
-        service.sync()  # flush the tail so the service ends consistent
-    report.wall_seconds = time.perf_counter() - wall_started
-    report.maintenance_seconds = service.stats.total_maintenance_seconds
-    report.syncs = service.stats.syncs
-    report.incremental_notifications = service.stats.incremental_notifications
+                digest.update(int(result.query).to_bytes(8, "little"))
+                digest.update(_fingerprint(result.scores))
+                report.latency.record(per_op)
+                report.staleness_samples.append(unsynced_updates)
+            report.num_queries += len(results)
+        if sync_every > 1 and unsynced_updates:
+            service.sync()
+        report.wall_seconds = time.perf_counter() - wall_started
+        report.maintenance_seconds = service.stats.total_maintenance_seconds
+        report.syncs = service.stats.syncs
+        report.incremental_notifications = 0
+        report.worker_restarts = service.stats.worker_restarts
+        if service.cache.enabled:
+            report.cache = service.cache.stats.as_dict()
+    finally:
+        service.close()
     report.digest = digest.hexdigest()
     return report
 
@@ -263,6 +409,8 @@ def run_workload(
     configs: dict[str, dict] | None = None,
     workers: int = 1,
     sync_every: int = 1,
+    executor: str = "thread",
+    cache_size: int = 0,
 ) -> WorkloadResult:
     """Replay ``trace`` once per method and collect comparable reports.
 
@@ -282,12 +430,19 @@ def run_workload(
     configs:
         Optional per-method keyword configuration, ``{name: {key: value}}``.
     workers:
-        Query-side thread-pool width; each worker drives its own estimator
+        Query-side pool width; each worker drives its own estimator
         replica.  Must be positive.
     sync_every:
         Sync non-incremental estimators every ``sync_every`` update batches.
         ``1`` (default) syncs after every update batch (always-fresh reads);
         larger values trade staleness for maintenance cost.
+    executor:
+        ``"thread"`` (estimator replicas on a thread pool — the GIL-bound
+        single-process path) or ``"process"`` (the shared-memory
+        multiprocess service; throughput scales with cores).
+    cache_size:
+        Capacity of the update-aware single-source result cache in front of
+        the query path; ``0`` (default) disables caching.
 
     Returns
     -------
@@ -297,26 +452,35 @@ def run_workload(
     Raises
     ------
     EvaluationError
-        If ``methods`` is empty or a config references an unknown method.
+        If ``methods`` is empty, a config references an unknown method, or
+        ``executor`` is unknown.
     ConfigurationError
         From the registry, for unknown method names or bad config keys.
     """
     check_positive_int("workers", workers)
     check_positive_int("sync_every", sync_every)
+    if executor not in EXECUTORS:
+        raise EvaluationError(
+            f"executor must be one of {EXECUTORS}, got {executor!r}"
+        )
+    if cache_size < 0:
+        raise EvaluationError(f"cache_size must be >= 0, got {cache_size}")
     if not methods:
         raise EvaluationError("need at least one method to replay the workload")
     configs = configs or {}
     unknown = sorted(set(configs) - set(methods))
     if unknown:
         raise EvaluationError(f"configs given for methods not replayed: {unknown}")
+    replay = _replay_thread if executor == "thread" else _replay_process
     result = WorkloadResult(
         trace_signature=trace.signature(),
         trace_config=trace.config.as_dict(),
     )
     for method in methods:
         result.reports.append(
-            _replay_one(
-                graph, trace, method, configs.get(method, {}), workers, sync_every
+            replay(
+                graph, trace, method, configs.get(method, {}), workers,
+                sync_every, cache_size,
             )
         )
     return result

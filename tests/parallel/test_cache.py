@@ -1,0 +1,89 @@
+"""ResultCache: LRU behaviour, epoch invalidation, counters."""
+
+import pytest
+
+from repro.parallel.cache import ResultCache
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = ResultCache(4)
+        assert cache.get("m", 1, 0) is None
+        cache.put("m", 1, 0, "answer")
+        assert cache.get("m", 1, 0) == "answer"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_keys_do_not_collide_across_methods(self):
+        cache = ResultCache(4)
+        cache.put("a", 1, 0, "from-a")
+        assert cache.get("b", 1, 0) is None
+
+    def test_epoch_bump_is_a_miss(self):
+        cache = ResultCache(4)
+        cache.put("m", 1, 0, "stale")
+        assert cache.get("m", 1, 1) is None
+
+
+class TestLRU:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = ResultCache(2)
+        cache.put("m", 1, 0, "one")
+        cache.put("m", 2, 0, "two")
+        cache.get("m", 1, 0)  # touch 1: now 2 is LRU
+        cache.put("m", 3, 0, "three")
+        assert cache.get("m", 2, 0) is None
+        assert cache.get("m", 1, 0) == "one"
+        assert cache.get("m", 3, 0) == "three"
+        assert cache.stats.evictions == 1
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(0)
+        assert not cache.enabled
+        cache.put("m", 1, 0, "never stored")
+        assert cache.get("m", 1, 0) is None
+        assert cache.stats.lookups == 0  # disabled caches do not count
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(-1)
+
+
+class TestInvalidation:
+    def test_invalidate_older_purges_and_counts(self):
+        cache = ResultCache(8)
+        cache.put("m", 1, 0, "e0")
+        cache.put("m", 2, 0, "e0")
+        cache.put("m", 1, 1, "e1")
+        assert cache.invalidate_older(1) == 2
+        assert cache.stats.invalidations == 2
+        assert len(cache) == 1
+        assert cache.get("m", 1, 1) == "e1"
+
+    def test_invalidate_older_is_idempotent(self):
+        cache = ResultCache(8)
+        cache.put("m", 1, 0, "e0")
+        cache.invalidate_older(1)
+        assert cache.invalidate_older(1) == 0
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache(8)
+        cache.put("m", 1, 0, "x")
+        cache.get("m", 1, 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+
+class TestStats:
+    def test_as_dict_shape(self):
+        cache = ResultCache(2)
+        cache.get("m", 1, 0)
+        payload = cache.stats.as_dict()
+        assert set(payload) == {
+            "hits", "misses", "evictions", "invalidations", "hit_rate"
+        }
+
+    def test_hit_rate_zero_when_unused(self):
+        assert ResultCache(2).stats.hit_rate == 0.0

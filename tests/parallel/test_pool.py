@@ -1,0 +1,328 @@
+"""ParallelSimRankService: determinism, caching, crash recovery, hygiene.
+
+The load-bearing contract: for fixed seeds the process-parallel service is
+*bit-identical* to its sequential executor (same partition/replay/rebuild
+schedule in one process) — and, for one worker on a static graph, to the
+plain :class:`~repro.api.service.SimRankService`.  Everything else
+(caching, crashes, epochs) must preserve that contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.service import SimRankService
+from repro.errors import ConfigurationError, QueryError
+from repro.parallel.pool import ParallelSimRankService
+
+from test_shm import segment_names
+
+METHOD = "probesim-batched"
+CONFIG = {METHOD: {"eps_a": 0.3, "num_walks": 40, "seed": 11}}
+QUERIES = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]
+
+
+def make_service(graph, executor, workers=3, **kwargs):
+    return ParallelSimRankService(
+        graph.copy(), methods=(METHOD,), configs=CONFIG,
+        workers=workers, executor=executor, **kwargs,
+    )
+
+
+def collect(service, with_updates=False):
+    """A deterministic call sequence; returns every score vector in order."""
+    out = [r.scores.copy() for r in service.single_source_many(QUERIES)]
+    out.append(service.single_source(7).scores.copy())
+    if with_updates:
+        service.apply_edges(added=[(0, 9)], removed=[])
+        out.extend(
+            r.scores.copy() for r in service.single_source_many(QUERIES[:5])
+        )
+    out.append(service.topk(2, 5).scores.copy())
+    return out
+
+
+class TestBitIdentical:
+    def test_process_matches_sequential_executor(self, tiny_wiki):
+        with make_service(tiny_wiki, "process") as parallel, \
+                make_service(tiny_wiki, "sequential") as sequential:
+            for got, want in zip(collect(parallel), collect(sequential)):
+                np.testing.assert_array_equal(got, want)
+
+    def test_process_matches_sequential_across_updates(self, tiny_wiki):
+        with make_service(tiny_wiki, "process") as parallel, \
+                make_service(tiny_wiki, "sequential") as sequential:
+            for got, want in zip(
+                collect(parallel, with_updates=True),
+                collect(sequential, with_updates=True),
+            ):
+                np.testing.assert_array_equal(got, want)
+
+    def test_one_worker_matches_plain_sequential_service(self, tiny_wiki):
+        """On a static graph, one process replica consumes exactly the RNG
+        stream the plain in-process service would."""
+        plain = SimRankService(tiny_wiki.copy(), methods=(METHOD,), configs=CONFIG)
+        with make_service(tiny_wiki, "process", workers=1) as parallel:
+            for got, want in zip(
+                parallel.single_source_many(QUERIES),
+                plain.single_source_many(QUERIES),
+            ):
+                np.testing.assert_array_equal(got.scores, want.scores)
+
+    def test_runs_are_reproducible(self, tiny_wiki):
+        with make_service(tiny_wiki, "process") as first:
+            a = collect(first, with_updates=True)
+        with make_service(tiny_wiki, "process") as second:
+            b = collect(second, with_updates=True)
+        for got, want in zip(a, b):
+            np.testing.assert_array_equal(got, want)
+
+    def test_topk_many_matches_sequential(self, tiny_wiki):
+        with make_service(tiny_wiki, "process") as parallel, \
+                make_service(tiny_wiki, "sequential") as sequential:
+            for got, want in zip(
+                parallel.topk_many(QUERIES[:4], k=5),
+                sequential.topk_many(QUERIES[:4], k=5),
+            ):
+                np.testing.assert_array_equal(got.nodes, want.nodes)
+                np.testing.assert_array_equal(got.scores, want.scores)
+
+
+class TestCache:
+    def test_hot_hits_skip_workers(self, tiny_wiki):
+        with make_service(tiny_wiki, "process", cache_size=64) as service:
+            first = service.single_source(3)
+            again = service.single_source(3)
+            assert again is first  # served straight from the cache
+            assert service.cache.stats.hits == 1
+            assert service.cache.stats.misses == 1
+
+    def test_batch_duplicates_hit_across_batches(self, tiny_wiki):
+        with make_service(tiny_wiki, "process", cache_size=64) as service:
+            service.single_source_many(QUERIES)
+            service.single_source_many(QUERIES)
+            distinct = len(set(QUERIES))
+            assert service.cache.stats.misses == distinct
+            assert service.cache.stats.hits == distinct
+
+    def test_sync_epoch_bump_invalidates(self, tiny_wiki):
+        with make_service(tiny_wiki, "process", cache_size=64) as service:
+            before = service.single_source(3)
+            assert service.epoch == 0
+            service.apply_edges(added=[(0, 9)])
+            assert service.epoch == 1
+            assert service.cache.stats.invalidations == 1
+            after = service.single_source(3)
+            assert after is not before  # recomputed against the new graph
+            assert service.cache.stats.hits == 0
+
+    def test_cache_does_not_change_determinism(self, tiny_wiki):
+        with make_service(tiny_wiki, "process", cache_size=64) as cached, \
+                make_service(tiny_wiki, "sequential", cache_size=64) as oracle:
+            for got, want in zip(
+                collect(cached, with_updates=True),
+                collect(oracle, with_updates=True),
+            ):
+                np.testing.assert_array_equal(got, want)
+
+    def test_cache_disabled_by_default(self, tiny_wiki):
+        with make_service(tiny_wiki, "process") as service:
+            service.single_source(3)
+            service.single_source(3)
+            assert not service.cache.enabled
+            assert service.cache.stats.lookups == 0
+
+
+class TestCrashRecovery:
+    def kill_one_worker(self, service):
+        service._workers[1].process.kill()
+        service._workers[1].process.join(timeout=10)
+
+    def test_crash_mid_service_preserves_results(self, tiny_wiki):
+        with make_service(tiny_wiki, "sequential") as oracle:
+            want = collect(oracle)
+        with make_service(tiny_wiki, "process") as service:
+            got = [r.scores.copy() for r in service.single_source_many(QUERIES)]
+            self.kill_one_worker(service)
+            got.append(service.single_source(7).scores.copy())
+            got.append(service.topk(2, 5).scores.copy())
+            assert service.stats.worker_restarts == 1
+        for a, b in zip(got, want):
+            np.testing.assert_array_equal(a, b)
+
+    def test_crash_replays_epoch_history(self, tiny_wiki):
+        """The revived worker must fast-forward its RNG past everything it
+        served this epoch, or later answers drift."""
+        with make_service(tiny_wiki, "sequential") as oracle:
+            oracle.single_source_many(QUERIES)
+            want = [r.scores.copy() for r in oracle.single_source_many(QUERIES[:6])]
+        with make_service(tiny_wiki, "process") as service:
+            service.single_source_many(QUERIES)  # builds per-worker history
+            self.kill_one_worker(service)
+            got = [r.scores.copy() for r in service.single_source_many(QUERIES[:6])]
+            assert service.stats.worker_restarts == 1
+        for a, b in zip(got, want):
+            np.testing.assert_array_equal(a, b)
+
+    def test_crash_during_sync_is_healed(self, tiny_wiki):
+        with make_service(tiny_wiki, "process") as service:
+            service.single_source_many(QUERIES)
+            self.kill_one_worker(service)
+            service.apply_edges(added=[(0, 9)])  # sync barrier heals the pool
+            assert service.single_source(3).score(3) == 1.0
+            assert service.stats.worker_restarts == 1
+
+
+class TestLifecycleHygiene:
+    def base_names(self):
+        return segment_names("psim-")
+
+    def test_close_unlinks_shared_memory(self, tiny_wiki):
+        before = self.base_names()
+        service = make_service(tiny_wiki, "process")
+        assert len(self.base_names()) > len(before)
+        service.close()
+        assert self.base_names() == before
+
+    def test_constructor_failure_unlinks(self, tiny_wiki):
+        before = self.base_names()
+        with pytest.raises(ConfigurationError):
+            ParallelSimRankService(
+                tiny_wiki.copy(), methods=(METHOD,),
+                configs={METHOD: {"no_such_knob": 1}}, workers=2,
+            )
+        assert self.base_names() == before
+
+    def test_exception_inside_with_block_unlinks(self, tiny_wiki):
+        before = self.base_names()
+        with pytest.raises(RuntimeError):
+            with make_service(tiny_wiki, "process"):
+                raise RuntimeError("simulated serving failure")
+        assert self.base_names() == before
+
+    def test_close_is_idempotent(self, tiny_wiki):
+        service = make_service(tiny_wiki, "process")
+        service.close()
+        service.close()
+
+    def test_estimator_error_does_not_kill_worker(self, tiny_wiki):
+        """Worker-side exceptions surface as errors, not crashes."""
+        with make_service(tiny_wiki, "process") as service:
+            with pytest.raises(QueryError):
+                service.single_source(10_000)
+            assert service.single_source(3).score(3) == 1.0
+            assert service.stats.worker_restarts == 0
+
+
+class TestValidation:
+    def test_rejects_non_parallel_safe_methods(self, tiny_wiki):
+        with pytest.raises(ConfigurationError, match="parallel_safe"):
+            ParallelSimRankService(tiny_wiki.copy(), methods=("sling",), workers=1)
+
+    def test_allow_unsafe_overrides(self, toy):
+        with ParallelSimRankService(
+            toy.copy(), methods=("power",), workers=1,
+            executor="sequential", allow_unsafe=True,
+        ) as service:
+            assert service.single_source(0).score(0) == 1.0
+
+    def test_unknown_executor(self, tiny_wiki):
+        with pytest.raises(ConfigurationError):
+            make_service(tiny_wiki, "coroutine")
+
+    def test_unknown_default_method(self, tiny_wiki):
+        with pytest.raises(ConfigurationError):
+            ParallelSimRankService(
+                tiny_wiki.copy(), methods=(METHOD,), configs=CONFIG,
+                default_method="tsf", workers=1, executor="sequential",
+            )
+
+    def test_frozen_graph_rejects_updates(self, tiny_wiki_csr):
+        with ParallelSimRankService(
+            tiny_wiki_csr, methods=(METHOD,), configs=CONFIG,
+            workers=1, executor="sequential",
+        ) as service:
+            with pytest.raises(ConfigurationError):
+                service.apply_edges(added=[(0, 9)])
+
+    def test_bad_query_ids(self, tiny_wiki):
+        with make_service(tiny_wiki, "sequential", workers=1) as service:
+            with pytest.raises(QueryError):
+                service.single_source("zero")
+            with pytest.raises(QueryError):
+                service.single_source(-1)
+            with pytest.raises(QueryError):
+                service.topk(0, k=0)
+
+    def test_capabilities_come_from_registry(self, tiny_wiki):
+        with make_service(tiny_wiki, "sequential", workers=1) as service:
+            caps = service.capabilities()
+            assert caps.parallel_safe
+            assert caps.method == METHOD
+
+
+class TestPipeDiscipline:
+    def test_worker_error_drains_inflight_replies(self, tiny_wiki):
+        """A worker-side error in one share must not leave another worker's
+        reply buffered in its pipe — later calls would silently read stale
+        results (off-by-one forever)."""
+        with make_service(tiny_wiki, "process", workers=2) as service, \
+                make_service(tiny_wiki, "sequential", workers=2) as oracle:
+            for target in (service, oracle):
+                bad = {
+                    0: ("query", ("no-such-mount", "single_source", None, [(0, 3)])),
+                    1: ("query", (METHOD, "single_source", None, [(1, 4)])),
+                }
+                with pytest.raises(QueryError, match="no-such-mount"):
+                    target._rpc_all(bad)
+            # both executors consumed identical streams through the failure;
+            # the pipes must still be in lock-step afterwards
+            for got, want in zip(
+                service.single_source_many(QUERIES),
+                oracle.single_source_many(QUERIES),
+            ):
+                np.testing.assert_array_equal(got.scores, want.scores)
+            assert service.stats.worker_restarts == 0
+
+
+class TestHistoryRollover:
+    def test_histories_stay_bounded(self, tiny_wiki):
+        with make_service(tiny_wiki, "process", history_limit=6) as service:
+            for _ in range(5):
+                service.single_source_many(QUERIES)
+            assert max(len(h) for h in service._histories) < 6 + len(QUERIES)
+
+    def test_rollover_preserves_determinism(self, tiny_wiki):
+        """The rollover trigger is a pure function of the call sequence, so
+        process and sequential executors roll over at the same instants."""
+        with make_service(tiny_wiki, "process", history_limit=4) as parallel, \
+                make_service(tiny_wiki, "sequential", history_limit=4) as oracle:
+            for _ in range(3):
+                for got, want in zip(
+                    parallel.single_source_many(QUERIES),
+                    oracle.single_source_many(QUERIES),
+                ):
+                    np.testing.assert_array_equal(got.scores, want.scores)
+
+    def test_rollover_keeps_cache_entries(self, tiny_wiki):
+        """Rollovers rebuild RNG streams, not the graph: cached answers for
+        the current epoch stay valid (no spurious invalidation)."""
+        with make_service(
+            tiny_wiki, "process", history_limit=4, cache_size=64
+        ) as service:
+            service.single_source_many(QUERIES)  # > limit: triggers rollover
+            service.single_source_many(QUERIES)
+            assert service.cache.stats.hits > 0
+            assert service.cache.stats.invalidations == 0
+
+    def test_crash_after_rollover_recovers(self, tiny_wiki):
+        with make_service(tiny_wiki, "sequential", history_limit=6) as oracle:
+            oracle.single_source_many(QUERIES)
+            want = [r.scores.copy() for r in oracle.single_source_many(QUERIES[:4])]
+        with make_service(tiny_wiki, "process", history_limit=6) as service:
+            service.single_source_many(QUERIES)
+            service._workers[1].process.kill()
+            service._workers[1].process.join(timeout=10)
+            got = [r.scores.copy() for r in service.single_source_many(QUERIES[:4])]
+            assert service.stats.worker_restarts == 1
+        for a, b in zip(got, want):
+            np.testing.assert_array_equal(a, b)

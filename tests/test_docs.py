@@ -51,13 +51,19 @@ class TestArchitectureDoc:
     def test_architecture_names_every_package(self):
         text = (REPO / "ARCHITECTURE.md").read_text(encoding="utf-8")
         for package in ("graph/", "core/", "baselines/", "extensions/",
-                        "api/", "workloads/", "eval/", "datasets/", "utils/"):
+                        "api/", "parallel/", "workloads/", "eval/",
+                        "datasets/", "utils/"):
             assert package in text, f"ARCHITECTURE.md does not map {package}"
 
     def test_architecture_documents_both_data_flows(self):
         text = (REPO / "ARCHITECTURE.md").read_text(encoding="utf-8")
         assert "query data flow" in text
         assert "update data flow" in text
+
+    def test_architecture_documents_parallel_serving(self):
+        text = (REPO / "ARCHITECTURE.md").read_text(encoding="utf-8")
+        assert "parallel serving data flow" in text
+        assert "SharedCSRGraph" in text
 
     def test_readme_links_architecture_and_docs(self):
         text = (REPO / "README.md").read_text(encoding="utf-8")

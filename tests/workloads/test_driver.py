@@ -165,3 +165,83 @@ class TestLatencyHistogram:
         assert sum(counts) == h.count == 2  # nothing silently dropped
         assert counts[0] == 1 and counts[-1] == 1
         assert h.max == 1_000.0  # the summary still reports the true extreme
+
+
+class TestProcessExecutor:
+    def test_digests_stable_across_runs(self, tiny_wiki, trace):
+        first = run(tiny_wiki, trace, workers=2, executor="process")
+        second = run(tiny_wiki, trace, workers=2, executor="process")
+        assert [r.digest for r in first.reports] == [r.digest for r in second.reports]
+
+    def test_matches_thread_executor_on_readonly_trace(self, tiny_wiki):
+        """No updates means no epoch rebuilds: both executors run identical
+        replica streams over identical positional shares, so the digests
+        agree bit for bit across the process boundary."""
+        readonly = generate_workload(
+            tiny_wiki, num_ops=40, read_fraction=1.0, zipf_s=1.0, seed=21
+        )
+        threads = run(tiny_wiki, readonly, workers=2, executor="thread")
+        processes = run(tiny_wiki, readonly, workers=2, executor="process")
+        assert [r.digest for r in threads.reports] == \
+            [r.digest for r in processes.reports]
+
+    def test_every_op_accounted(self, tiny_wiki, trace):
+        result = run(tiny_wiki, trace, workers=2, executor="process")
+        for report in result.reports:
+            assert report.executor == "process"
+            assert report.num_queries == trace.num_queries
+            assert report.num_updates == trace.num_updates
+            assert report.latency.count == trace.num_queries
+            assert report.qps > 0
+
+    def test_unknown_executor_rejected(self, tiny_wiki, trace):
+        with pytest.raises(EvaluationError, match="executor"):
+            run(tiny_wiki, trace, executor="coroutine")
+
+
+class TestResultCache:
+    @pytest.fixture(scope="class")
+    def hot_trace(self, tiny_wiki):
+        """Read-heavy Zipf traffic — the shape caching exists for (update
+        batches bump the cache epoch, so write-heavy traces rarely hit)."""
+        return generate_workload(
+            tiny_wiki, num_ops=120, read_fraction=0.97, zipf_s=1.3, seed=21
+        )
+
+    def test_zipf_trace_produces_hits(self, tiny_wiki, hot_trace):
+        result = run(tiny_wiki, hot_trace, workers=2, cache_size=256)
+        cache = result.reports[0].cache
+        assert cache["hits"] > 0
+        assert 0.0 < cache["hit_rate"] < 1.0
+
+    def test_cache_preserves_digest_reproducibility(self, tiny_wiki, trace):
+        first = run(tiny_wiki, trace, workers=2, cache_size=256)
+        second = run(tiny_wiki, trace, workers=2, cache_size=256)
+        assert [r.digest for r in first.reports] == [r.digest for r in second.reports]
+
+    def test_updates_invalidate_thread_cache(self, tiny_wiki, trace):
+        assert trace.num_updates > 0
+        result = run(
+            tiny_wiki, trace, methods=["probesim-batched"],
+            configs={"probesim-batched": CONFIGS["probesim-batched"]},
+            cache_size=256,
+        )
+        assert result.reports[0].cache["invalidations"] > 0
+
+    def test_process_executor_caches_too(self, tiny_wiki, hot_trace):
+        result = run(
+            tiny_wiki, hot_trace, methods=["probesim-batched"],
+            configs={"probesim-batched": CONFIGS["probesim-batched"]},
+            workers=2, executor="process", cache_size=256,
+        )
+        report = result.reports[0]
+        assert report.cache["hits"] > 0
+        assert report.cache_size == 256
+
+    def test_cache_off_reports_empty(self, tiny_wiki, trace):
+        result = run(tiny_wiki, trace)
+        assert result.reports[0].cache == {}
+
+    def test_negative_cache_rejected(self, tiny_wiki, trace):
+        with pytest.raises(EvaluationError):
+            run(tiny_wiki, trace, cache_size=-1)
