@@ -61,8 +61,15 @@ class ServiceStats:
     updates_applied: int = 0
     syncs: int = 0
     incremental_notifications: int = 0
-    #: graph generations published (process-parallel serving; 0 here)
+    #: graph generations published, i.e. full-rebuild syncs
+    #: (process-parallel serving; 0 here)
     epochs: int = 0
+    #: syncs served by O(Δ) delta propagation instead of an epoch rebuild
+    #: (process-parallel serving; 0 here)
+    delta_syncs: int = 0
+    #: edge updates shipped through the delta path
+    #: (process-parallel serving; 0 here)
+    delta_updates: int = 0
     #: crashed worker processes revived (process-parallel serving; 0 here)
     worker_restarts: int = 0
     maintenance_seconds: dict[str, float] = field(default_factory=dict)
@@ -91,6 +98,7 @@ class ServiceStats:
             "dedup_saved": self.batch_dedup_saved,
             "updates": self.updates_applied,
             "syncs": self.syncs,
+            "delta_syncs": self.delta_syncs,
             "maintenance_s": self.total_maintenance_seconds,
         }
 
@@ -228,7 +236,10 @@ class SimRankService(QueryServiceBase):
     workload driver does.  Mutations (:meth:`apply_edges`,
     :meth:`apply_update_stream`, :meth:`sync`, :meth:`add_method`) must not
     run concurrently with queries.  The stats counters themselves are
-    guarded by an internal lock, so concurrent queries never lose counts.
+    guarded by an internal lock on *both* the query and the maintenance
+    paths, so the counters stay exact even while query threads and the
+    maintenance thread overlap (the workload driver's executor does
+    exactly that between batches).
     """
 
     def __init__(
@@ -419,20 +430,25 @@ class SimRankService(QueryServiceBase):
         try:
             for update in updates:
                 apply_update(self._graph, update)
-                # mark immediately: if a later update (or notification) in the
-                # stream raises, already-applied mutations must still force a
-                # sync rather than leave bulk estimators silently stale
-                self._stale.update(bulk)
+                # mark immediately (under the stats lock — queries running
+                # on other threads are bumping the lock-guarded counters
+                # concurrently): if a later update (or notification) in the
+                # stream raises, already-applied mutations must still force
+                # a sync rather than leave bulk estimators silently stale
+                with self._stats_lock:
+                    self._stale.update(bulk)
                 count += 1
                 for name, est in incremental:
                     started = time.perf_counter()
                     est.apply_updates([update])
-                    self.stats.charge_maintenance(
-                        name, time.perf_counter() - started
-                    )
-                    self.stats.incremental_notifications += 1
+                    with self._stats_lock:
+                        self.stats.charge_maintenance(
+                            name, time.perf_counter() - started
+                        )
+                        self.stats.incremental_notifications += 1
         finally:
-            self.stats.updates_applied += count
+            with self._stats_lock:
+                self.stats.updates_applied += count
             if count and self.auto_sync:
                 self.sync()
         return count
@@ -442,14 +458,20 @@ class SimRankService(QueryServiceBase):
 
         Sync wall-clock is charged per method into
         ``stats.maintenance_seconds``.  Idempotent: a second call with no
-        intervening updates does nothing.
+        intervening updates does nothing.  The stale set and the counters
+        are only touched under the stats lock (concurrent query threads
+        share it); each estimator is unmarked as it is synced, so a
+        mid-flight failure retries exactly the estimators still stale.
         """
-        for name in sorted(self._stale):
+        with self._stats_lock:
+            stale = sorted(self._stale)
+        for name in stale:
             started = time.perf_counter()
             self._estimators[name].sync()
-            self.stats.charge_maintenance(name, time.perf_counter() - started)
-            self.stats.syncs += 1
-        self._stale.clear()
+            with self._stats_lock:
+                self.stats.charge_maintenance(name, time.perf_counter() - started)
+                self.stats.syncs += 1
+                self._stale.discard(name)
 
     # ------------------------------------------------------------------ #
 

@@ -34,6 +34,8 @@ Examples
     python -m repro single-source /tmp/wv.txt --query 5 --method mc --num-walks 500
     python -m repro workload /tmp/wv.txt --methods probesim-batched,tsf \\
         --ops 400 --read-fraction 0.9 --workers 2 --seed 7 --json /tmp/wl.json
+    python -m repro workload /tmp/wv.txt --methods tsf --read-fraction 0.5 \\
+        --executor process --maintenance delta --cache-size 512 --seed 7
 """
 
 from __future__ import annotations
@@ -214,12 +216,14 @@ def _cmd_workload(args) -> int:
         graph, trace, methods, configs=configs,
         workers=args.workers, sync_every=args.sync_every,
         executor=args.executor, cache_size=args.cache_size,
+        maintenance=args.maintenance,
     )
     print(format_table(
         result.rows(),
         title=(f"workload: {trace.num_queries} queries / {trace.num_updates} "
                f"updates, read_fraction={args.read_fraction}, "
-               f"workers={args.workers}, executor={args.executor}"),
+               f"workers={args.workers}, executor={args.executor}, "
+               f"maintenance={args.maintenance}"),
     ))
     if args.json:
         path = write_json_report(args.json, result.to_dict())
@@ -289,9 +293,17 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--workers", type=int, default=1,
                           help="query-side pool width (one replica each)")
     workload.add_argument("--executor", default="thread",
-                          choices=("thread", "process"),
-                          help="replica pool: GIL-bound threads, or worker "
-                               "processes over a shared-memory graph")
+                          choices=("thread", "process", "sequential"),
+                          help="replica pool: GIL-bound threads, worker "
+                               "processes over a shared-memory graph, or the "
+                               "process service's in-process oracle")
+    workload.add_argument("--maintenance", default="auto",
+                          choices=("auto", "delta", "rebuild"),
+                          help="process-executor update path: in-place delta "
+                               "propagation (O(delta) per burst, needs an "
+                               "incremental-capable method), full epoch "
+                               "rebuild (O(m)), or auto (delta when the "
+                               "method supports it)")
     workload.add_argument("--cache-size", type=int, default=0, dest="cache_size",
                           help="update-aware single-source result cache "
                                "capacity (0 disables)")

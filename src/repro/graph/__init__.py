@@ -17,6 +17,7 @@ from repro.graph.dynamic import (
     apply_update,
     apply_stream,
     generate_update_stream,
+    touched_neighborhood,
 )
 from repro.graph.generators import (
     chung_lu_graph,
@@ -44,6 +45,7 @@ __all__ = [
     "locally_dense_graph",
     "preferential_attachment_graph",
     "read_edge_list",
+    "touched_neighborhood",
     "web_graph",
     "write_edge_list",
 ]

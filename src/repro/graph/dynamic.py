@@ -206,6 +206,34 @@ def apply_update(graph: DiGraph, update: EdgeUpdate) -> None:
         graph.remove_edge(update.source, update.target)
 
 
+def touched_neighborhood(graph, updates) -> set[int]:
+    """Nodes whose cached single-source answers an update burst stales most.
+
+    The set is the updated edges' endpoints plus the endpoints' current
+    in/out neighbors.  SimRank perturbations decay geometrically (``c``
+    per hop) with distance from a flipped edge, so this 1-hop set catches
+    the dominant movement; it is a locality heuristic, not a completeness
+    guarantee — answers further out can still drift by the residual
+    (higher-order) terms.  The serving layers use it for fine-grained
+    result-cache invalidation under delta maintenance
+    (:meth:`repro.parallel.cache.ResultCache.invalidate_nodes`), trading
+    that bounded staleness for warm hot keys.
+
+    ``graph`` may be read before or after the burst is applied: an update
+    only toggles the edge between its own endpoints, and both endpoints are
+    always included, so any neighbor reachable through a burst-internal
+    edge is already in the set either way.  Works on :class:`DiGraph` and
+    :class:`~repro.graph.csr.CSRGraph` alike.
+    """
+    touched: set[int] = set()
+    for update in updates:
+        for node in (update.source, update.target):
+            touched.add(int(node))
+            touched.update(int(n) for n in graph.in_neighbors(node))
+            touched.update(int(n) for n in graph.out_neighbors(node))
+    return touched
+
+
 def apply_stream(graph: DiGraph, stream: UpdateStream) -> DiGraph:
     """Apply a full stream in place and return ``graph`` for chaining."""
     for update in stream:

@@ -14,16 +14,33 @@ results under the key ``(method, query, epoch)``:
     The query node id.
 ``epoch``
     The graph generation the answer was computed against.  Every
-    :meth:`~repro.parallel.pool.ParallelSimRankService.sync` bumps the
-    service epoch, so entries from before a graph mutation can never be
-    served afterwards — the cache is *update-aware* by construction.
-    :meth:`ResultCache.invalidate_older` purges the dead generations
-    eagerly (and counts them), keeping capacity for live entries.
+    full-rebuild :meth:`~repro.parallel.pool.ParallelSimRankService.sync`
+    bumps the service epoch, so entries from before a graph mutation can
+    never be served afterwards — the cache is *update-aware* by
+    construction.  :meth:`ResultCache.invalidate_older` purges the dead
+    generations eagerly (and counts them), keeping capacity for live
+    entries.
+
+Delta maintenance invalidates *by neighborhood* instead: when a small
+update burst is absorbed in place (the epoch does not move),
+:meth:`ResultCache.invalidate_nodes` drops only the entries whose query
+node falls in the touched neighborhood — the updated edges' endpoints plus
+their in/out neighbors — and keeps every other hot key warm.  This is a
+deliberate locality heuristic, not an exactness guarantee: SimRank
+perturbations decay geometrically (as ``c`` per hop) with distance from a
+flipped edge, so the 1-hop set catches the dominant terms while entries
+further out may serve answers slightly staler than a recompute — the same
+freshness-for-throughput trade as the driver's ``sync_every`` knob.
+Callers needing strictly fresh hits use rebuild maintenance (every sync
+turns the whole cache over) or disable caching.
 
 The cache is coordinator-side and thread-safe: the workload driver's
 thread executor probes it from many threads, the process executor from the
-dispatch loop.  Capacity is bounded by LRU eviction; ``capacity == 0``
-disables caching entirely (every :meth:`ResultCache.get` misses).
+dispatch loop.  Counters must therefore be read through
+:meth:`ResultCache.snapshot` (one locked read), never field-by-field — a
+report assembled from unlocked reads can embed torn hit/miss pairs.
+Capacity is bounded by LRU eviction; ``capacity == 0`` disables caching
+entirely (every :meth:`ResultCache.get` misses).
 """
 
 from __future__ import annotations
@@ -60,7 +77,12 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def as_dict(self) -> dict[str, object]:
-        """JSON-ready counter snapshot (workload reports embed this)."""
+        """JSON-ready counter snapshot.
+
+        Reads the fields without synchronisation — on a live, concurrently
+        updated cache use :meth:`ResultCache.snapshot` instead, which takes
+        the cache lock and cannot observe torn hit/miss pairs.
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -142,13 +164,49 @@ class ResultCache:
             self.stats.invalidations += len(dead)
             return len(dead)
 
+    def invalidate_nodes(self, nodes) -> int:
+        """Purge every entry whose *query node* is in ``nodes`` (any epoch).
+
+        This is the delta-maintenance counterpart of
+        :meth:`invalidate_older`: a small update burst absorbed in place
+        leaves the epoch unchanged, so staleness is scoped by graph
+        locality instead of by generation — the caller passes the touched
+        neighborhood and everything outside it stays warm (accepting the
+        geometrically decaying residual staleness described in the module
+        docstring).  Returns the number of entries invalidated (also added
+        to the counters).
+        """
+        targets = {int(node) for node in nodes}
+        if not targets:
+            return 0
+        with self._lock:
+            dead = [key for key in self._entries if key[1] in targets]
+            for key in dead:
+                del self._entries[key]
+            self.stats.invalidations += len(dead)
+            return len(dead)
+
     def clear(self) -> None:
         """Drop every entry without touching the counters."""
         with self._lock:
             self._entries.clear()
 
+    def snapshot(self) -> dict[str, object]:
+        """One consistent, locked counter snapshot (plus the live size).
+
+        This is what reports should embed: every counter (and the derived
+        ``hit_rate``) is read under the cache lock in a single critical
+        section, so concurrent lookups can never tear the numbers
+        (e.g. ``hits + misses != lookups``).
+        """
+        with self._lock:
+            payload = self.stats.as_dict()
+            payload["size"] = len(self._entries)
+            return payload
+
     def __repr__(self) -> str:
+        snap = self.snapshot()
         return (
-            f"ResultCache(capacity={self.capacity}, size={len(self._entries)}, "
-            f"hit_rate={self.stats.hit_rate:.2f})"
+            f"ResultCache(capacity={self.capacity}, size={snap['size']}, "
+            f"hit_rate={snap['hit_rate']:.2f})"
         )

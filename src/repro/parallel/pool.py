@@ -46,17 +46,38 @@ Crash recovery
 Result caching
     An update-aware LRU (:mod:`repro.parallel.cache`) keyed
     ``(method, query, epoch)`` answers repeat hot-key queries without
-    touching a worker; epoch bumps invalidate stale generations.  Note the
-    cache returns the *first* computed estimate for a key — for randomized
-    estimators any sample within the ``eps_a`` guarantee is a valid answer,
-    so hits stay inside the paper's accuracy contract.
+    touching a worker; full rebuilds invalidate whole generations, delta
+    syncs invalidate only the touched neighborhood.  Note the cache returns
+    the *first* computed estimate for a key — for randomized estimators any
+    sample within the ``eps_a`` guarantee is a valid answer, so hits stay
+    inside the paper's accuracy contract.
 
-What does **not** carry over from the sequential service: per-update
-incremental maintenance (``capabilities().incremental_updates``).  Workers
-cannot observe coordinator-side mutations, so every method pays the epoch
-rebuild on :meth:`~ParallelSimRankService.sync`; methods whose registry
-capabilities set ``parallel_safe=False`` (rebuild-heavy static indexes) are
-rejected at mount time unless ``allow_unsafe=True``.
+Delta maintenance (O(Δ) instead of O(m) per update burst)
+    When every mounted method advertises
+    ``capabilities().incremental_updates`` (TSF's one-way-graph patching,
+    the walk cache's fine-grained eviction), :meth:`~ParallelSimRankService.sync`
+    does not republish the graph at all.  The burst is appended to the
+    shared graph's bounded edge-delta log
+    (:meth:`~repro.parallel.shm.SharedCSRGraph.append_deltas`) and a
+    ``("delta", …)`` RPC tells each worker to read the new entries, apply
+    them in place to its local graph mirror, and notify its replicas via
+    ``apply_updates`` — replica RNG streams *continue* instead of
+    restarting, exactly like the sequential service's incremental path.
+    The graph epoch stays put, so cached answers for untouched query nodes
+    stay warm (:meth:`~repro.parallel.cache.ResultCache.invalidate_nodes`
+    drops only the updated edges' 1-hop neighborhood).  Crash-replay
+    histories record the delta stream interleaved with the queries, so a
+    revived worker replays both in order and stays bit-exact.  When the
+    bounded log cannot hold a burst the service *compacts*: one ordinary
+    epoch rebuild folds every logged delta into a fresh CSR generation and
+    empties the log.  The ``maintenance`` knob selects the path —
+    ``"rebuild"`` forces epochs, ``"delta"`` requires incremental-capable
+    mounts, ``"auto"`` (default) picks delta exactly when every mount
+    supports it.
+
+Methods whose registry capabilities set ``parallel_safe=False``
+(rebuild-heavy static indexes) are rejected at mount time unless
+``allow_unsafe=True``.
 """
 
 from __future__ import annotations
@@ -71,7 +92,7 @@ from repro.api.service import QueryServiceBase
 from repro.errors import ConfigurationError, QueryError
 from repro.graph.csr import CSRGraph, as_csr
 from repro.graph.digraph import DiGraph
-from repro.graph.dynamic import EdgeUpdate, apply_update
+from repro.graph.dynamic import EdgeUpdate, apply_update, touched_neighborhood
 from repro.parallel.cache import ResultCache
 from repro.parallel.shm import SharedCSRGraph
 from repro.utils.validation import check_positive_int
@@ -80,6 +101,9 @@ __all__ = ["ParallelSimRankService", "WorkerCrashed", "derive_replica_config"]
 
 #: executors the service can run its workers on.
 EXECUTORS = ("process", "sequential")
+
+#: maintenance paths the service can run updates through.
+MAINTENANCE_MODES = ("auto", "delta", "rebuild")
 
 
 class WorkerCrashed(RuntimeError):
@@ -119,6 +143,8 @@ class _WorkerCore:
         self.worker_index = worker_index
         self.shared: SharedCSRGraph | None = None
         self.csr: CSRGraph | None = None
+        self.mirror: DiGraph | None = None
+        self.delta_mode = False
         self.estimators: dict[str, object] = {}
         self.mounts: list[tuple[str, str, dict]] = []
 
@@ -131,20 +157,71 @@ class _WorkerCore:
             self.shared.reattach(source)
         return self.shared.graph
 
-    def build(self, source, mounts: list[tuple[str, str, dict]]) -> None:
-        """Mount every replica against ``source`` (fresh RNG streams)."""
+    def build(
+        self,
+        source,
+        mounts: list[tuple[str, str, dict]],
+        delta_mode: bool = False,
+    ) -> None:
+        """Mount every replica against ``source`` (fresh RNG streams).
+
+        Under ``delta_mode`` the replicas are built on a worker-local
+        *mutable mirror* of the snapshot (``CSRGraph.to_digraph``) instead
+        of the frozen arrays: incremental estimators read the live graph
+        when notified, so the mirror is what :meth:`apply_delta` mutates in
+        place.  The mirror's adjacency is in canonical CSR order, which is
+        what makes replicas agree bit-for-bit across executors.
+        """
         self.mounts = list(mounts)
+        self.delta_mode = bool(delta_mode)
         # drop old replicas AND the old graph before reattaching: the old
         # segment is unmapped underneath any view that survives this point
         self.estimators = {}
         self.csr = None
+        self.mirror = None
         self.csr = self._graph_from(source)
+        target = self.csr
+        if self.delta_mode:
+            self.mirror = self.csr.to_digraph()
+            target = self.mirror
         for key, name, config in self.mounts:
-            self.estimators[key] = get_entry(name).build(self.csr, **config)
+            self.estimators[key] = get_entry(name).build(target, **config)
 
     def rebuild(self, source) -> None:
         """Epoch bump: reattach the new generation and rebuild replicas."""
-        self.build(source, self.mounts)
+        self.build(source, self.mounts, self.delta_mode)
+
+    def resolve_delta(self, payload) -> tuple[EdgeUpdate, ...]:
+        """Materialise one delta RPC payload into its update sequence.
+
+        ``("log", start, stop)`` reads the triples zero-copy from the
+        shared delta log (process executor); ``("inline", updates)``
+        carries them in the message (sequential executor — it has no shared
+        segment).  Both forms denote the same updates, so either replays
+        identically during crash recovery.
+        """
+        tag, *rest = payload
+        if tag == "log":
+            start, stop = rest
+            return self.shared.read_deltas(start, stop)
+        return tuple(rest[0])
+
+    def apply_delta(self, updates: Sequence[EdgeUpdate]) -> None:
+        """Absorb an update burst in place: O(Δ), no replica rebuild.
+
+        Mirrors the sequential service's incremental dispatch exactly:
+        each update first mutates the local graph mirror, then every
+        replica is notified with that single update (estimators read the
+        post-update graph, and replica RNG streams continue).
+        """
+        if self.mirror is None:
+            raise QueryError(
+                "delta RPC on a worker built without delta maintenance"
+            )
+        for update in updates:
+            apply_update(self.mirror, update)
+            for key, _, _ in self.mounts:
+                self.estimators[key].apply_updates([update])
 
     def query(self, key: str, kind: str, k: int | None, ops):
         """Answer ``(op_id, node)`` ops in order with the ``key`` replica."""
@@ -186,6 +263,9 @@ def _worker_main(conn, worker_index: int) -> None:  # pragma: no cover
                     reply = ("ok", None)
                 elif command == "epoch":
                     core.rebuild(payload)
+                    reply = ("ok", None)
+                elif command == "delta":
+                    core.apply_delta(core.resolve_delta(payload))
                     reply = ("ok", None)
                 elif command == "query":
                     reply = ("ok", core.query(*payload))
@@ -267,6 +347,9 @@ class _InlineWorker:
             elif command == "epoch":
                 self.core.rebuild(payload)
                 self._reply = ("ok", None)
+            elif command == "delta":
+                self.core.apply_delta(self.core.resolve_delta(payload))
+                self._reply = ("ok", None)
             elif command == "query":
                 self._reply = ("ok", self.core.query(*payload))
             elif command in ("ping", "exit"):
@@ -324,6 +407,18 @@ class ParallelSimRankService(QueryServiceBase):
     auto_sync:
         When True (default) :meth:`apply_edges` immediately publishes a new
         epoch; when False the caller flushes with :meth:`sync`.
+    maintenance:
+        Update-maintenance path: ``"rebuild"`` (every sync publishes a new
+        graph epoch and rebuilds all replicas — O(m) per burst),
+        ``"delta"`` (syncs ship the edge deltas and replicas absorb them in
+        place via ``apply_updates`` — O(Δ); requires every mounted method
+        to advertise ``capabilities().incremental_updates`` and a mutable
+        :class:`DiGraph`), or ``"auto"`` (default: delta exactly when every
+        mount supports it).  See the module docstring for the full model.
+    delta_log_capacity:
+        Bound of the shared edge-delta log (entries).  A sync whose
+        accumulated deltas would overflow the log *compacts* instead: one
+        full epoch rebuild folds the log into a fresh CSR generation.
     executor:
         ``"process"`` (default) or ``"sequential"``.
     start_method:
@@ -353,6 +448,8 @@ class ParallelSimRankService(QueryServiceBase):
         workers: int = 2,
         cache_size: int = 0,
         auto_sync: bool = True,
+        maintenance: str = "auto",
+        delta_log_capacity: int = 256,
         executor: str = "process",
         start_method: str | None = None,
         allow_unsafe: bool = False,
@@ -361,9 +458,15 @@ class ParallelSimRankService(QueryServiceBase):
     ) -> None:
         check_positive_int("workers", workers)
         check_positive_int("history_limit", history_limit)
+        check_positive_int("delta_log_capacity", delta_log_capacity)
         if executor not in EXECUTORS:
             raise ConfigurationError(
                 f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
+        if maintenance not in MAINTENANCE_MODES:
+            raise ConfigurationError(
+                f"maintenance must be one of {MAINTENANCE_MODES}, "
+                f"got {maintenance!r}"
             )
         if not methods:
             raise ConfigurationError("need at least one method to serve")
@@ -401,14 +504,29 @@ class ParallelSimRankService(QueryServiceBase):
                 f"default_method {self._default!r} is not among "
                 f"{sorted(self._mounts)}"
             )
+        self.delta_log_capacity = int(delta_log_capacity)
+        self._maintenance = self._resolve_maintenance(maintenance)
 
         self._epoch = 0
         self._graph_stale = False
         self._closed = False
         self._single_rr = 0  # round-robin cursor for lone single_source calls
-        self._histories: list[list[tuple[str, str, int, int | None]]] = [
+        #: per-worker crash-replay log: replayable RPC messages in order
+        #: (single-op "query" messages interleaved with "delta" messages)
+        self._histories: list[list[tuple[str, tuple]]] = [
             [] for _ in range(self.workers)
         ]
+        #: per-worker count of *query* messages in the history — the
+        #: rollover trigger.  Kept separately so the epoch's delta stream
+        #: (bounded by the log capacity, and re-shipped by every rollover)
+        #: can never re-trip the bound on its own.
+        self._history_queries: list[int] = [0] * self.workers
+        #: delta payloads shipped since the live epoch was published — the
+        #: stream a rollover re-ships after its in-place rebuild
+        self._delta_payloads: list[tuple] = []
+        self._deltas_since_epoch = 0
+        self._pending_updates: list[EdgeUpdate] = []
+        self._touched_pending: set[int] = set()
         self._shm: SharedCSRGraph | None = None
         self._csr: CSRGraph | None = None
         self._workers: list = []
@@ -416,7 +534,13 @@ class ParallelSimRankService(QueryServiceBase):
             csr = as_csr(graph)
             self._num_nodes = csr.num_nodes
             if executor == "process":
-                self._shm = SharedCSRGraph.create(csr)
+                self._shm = SharedCSRGraph.create(
+                    csr,
+                    delta_capacity=(
+                        self.delta_log_capacity
+                        if self._maintenance == "delta" else 0
+                    ),
+                )
                 self._epoch = self._shm.current_epoch()
             else:
                 self._csr = csr
@@ -439,6 +563,46 @@ class ParallelSimRankService(QueryServiceBase):
     def _method_keys(self) -> Iterable[str]:
         return self._mounts
 
+    def _resolve_maintenance(self, requested: str) -> str:
+        """Resolve the ``maintenance`` knob to ``"delta"`` or ``"rebuild"``.
+
+        Delta maintenance is sound only when every replica can absorb an
+        update in place — i.e. every mounted method declares
+        ``incremental_updates`` — and when there is a mutable graph to
+        produce updates at all.  ``"auto"`` degrades to ``"rebuild"``
+        quietly; an explicit ``"delta"`` request that cannot be honoured is
+        a configuration error, not a silent downgrade.
+        """
+        non_incremental = sorted(
+            key for key, (name, _) in self._mounts.items()
+            if get_entry(name).capabilities is None
+            or not get_entry(name).capabilities.incremental_updates
+        )
+        if requested == "rebuild":
+            return "rebuild"
+        if requested == "delta":
+            if non_incremental:
+                raise ConfigurationError(
+                    "maintenance='delta' needs every mounted method to "
+                    "support incremental_updates; these do not: "
+                    f"{non_incremental}"
+                )
+            if self._digraph is None:
+                raise ConfigurationError(
+                    "maintenance='delta' needs a mutable DiGraph; this "
+                    "service owns a frozen snapshot"
+                )
+            return "delta"
+        return (
+            "delta" if not non_incremental and self._digraph is not None
+            else "rebuild"
+        )
+
+    @property
+    def maintenance(self) -> str:
+        """The resolved maintenance path: ``"delta"`` or ``"rebuild"``."""
+        return self._maintenance
+
     def _spawn(self, index: int):
         if self.executor == "sequential":
             return _InlineWorker(index)
@@ -458,45 +622,75 @@ class ParallelSimRankService(QueryServiceBase):
 
     def _build_worker(self, index: int) -> None:
         worker = self._workers[index]
-        worker.send(("build", (self._worker_source(), self._worker_mounts(index))))
+        worker.send((
+            "build",
+            (
+                self._worker_source(),
+                self._worker_mounts(index),
+                self._maintenance == "delta",
+            ),
+        ))
         self._expect_ok(worker.recv(self.rpc_timeout))
 
     def _revive(self, index: int) -> None:
         """Respawn a dead worker and fast-forward it to the live RNG state.
 
-        The replay re-runs (and discards) every query the worker served
-        since the current epoch began; replica RNG restarts at each epoch,
-        so afterwards the replacement's streams match the dead worker's
-        exactly and determinism survives the crash.
+        The replay re-runs every message the worker served since the
+        current epoch began — queries (results discarded) *and* delta
+        bursts, in their original interleaving; replica RNG restarts at
+        each epoch, so afterwards the replacement's graph mirror and RNG
+        streams match the dead worker's exactly and determinism survives
+        the crash.
         """
         self._workers[index].close(force=True)
         self._workers[index] = self._spawn(index)
         self._build_worker(index)
         worker = self._workers[index]
-        for kind, key, node, k in self._histories[index]:
-            worker.send(("query", (key, kind, k, [(0, node)])))
+        for message in self._histories[index]:
+            worker.send(message)
             self._expect_ok(worker.recv(self.rpc_timeout))
         with self._stats_lock:
             self.stats.worker_restarts += 1
 
-    def _rebarrier(self) -> None:
+    def _rebarrier(self, replay_deltas: bool = False) -> None:
         """Rebuild every worker against the current source, clearing the
-        replay histories (replica RNG streams restart deterministically)."""
+        replay histories (replica RNG streams restart deterministically).
+
+        Under delta maintenance the live epoch's graph generation predates
+        the shipped deltas, so an in-place rebuild (``replay_deltas=True``
+        — the history-bounding rollover) must re-ship the epoch's delta
+        stream to bring the fresh mirrors back to the served graph state;
+        after a *publish* the new generation already folds the deltas in
+        and the stream is dropped instead.
+        """
         self._histories = [[] for _ in range(self.workers)]
+        self._history_queries = [0] * self.workers
         source = self._worker_source()
         self._rpc_all({w: ("epoch", source) for w in range(self.workers)})
+        if replay_deltas:
+            for payload in self._delta_payloads:
+                self._rpc_all(
+                    {w: ("delta", payload) for w in range(self.workers)}
+                )
+        else:
+            self._delta_payloads = []
+            self._deltas_since_epoch = 0
 
     def _maybe_rollover(self) -> None:
-        """Bound the crash-replay history on update-free workloads.
+        """Bound the crash-replay history on long-serving epochs.
 
-        Once any worker has served ``history_limit`` queries since the last
-        rebuild, the pool is rebuilt in place: same graph generation, fresh
-        per-worker RNG streams, empty histories.  The trigger is a pure
-        function of the call sequence, so results stay bit-reproducible;
-        cached answers stay valid because the graph epoch is unchanged.
+        Once any worker has served ``history_limit`` *queries* since the
+        last rebuild, the pool is rebuilt in place: same graph generation,
+        fresh per-worker RNG streams, histories reduced to the epoch's
+        delta stream (re-shipped so the fresh mirrors match the served
+        graph — its length is bounded by the log capacity, and it does not
+        count toward the trigger, so a delta-heavy epoch cannot make every
+        query roll the pool over).  The trigger is a pure function of the
+        call sequence, so results stay bit-reproducible; cached answers
+        stay valid because the graph epoch is unchanged.
         """
-        if max(map(len, self._histories), default=0) >= self.history_limit:
-            self._rebarrier()
+        if max(self._history_queries, default=0) >= self.history_limit:
+            self._rebarrier(replay_deltas=True)
 
     def _expect_ok(self, reply):
         status, payload = reply
@@ -508,17 +702,26 @@ class ParallelSimRankService(QueryServiceBase):
         )
 
     def _record_history(self, index: int, message) -> None:
-        """Append a successful query message's ops to the worker's history.
+        """Append a successful message to the worker's replay history.
 
-        Recording happens the moment the worker's reply is confirmed — not
-        after the whole batch — so the replay log stays accurate even when
-        a batch-mate errors or crashes mid-dispatch.
+        Query messages are split into single-op messages (the rollover
+        bound counts ops, and replay re-sends them one at a time); delta
+        messages are recorded whole, in their position between the queries
+        — the interleaving is what makes a crash replay reproduce the dead
+        worker's graph mirror and RNG streams exactly.  Recording happens
+        the moment the worker's reply is confirmed — not after the whole
+        batch — so the replay log stays accurate even when a batch-mate
+        errors or crashes mid-dispatch.
         """
         command, payload = message
-        if command != "query":
-            return
-        key, kind, k, ops = payload
-        self._histories[index].extend((kind, key, node, k) for _, node in ops)
+        if command == "query":
+            key, kind, k, ops = payload
+            self._histories[index].extend(
+                ("query", (key, kind, k, [(0, node)])) for _, node in ops
+            )
+            self._history_queries[index] += len(ops)
+        elif command == "delta":
+            self._histories[index].append(message)
 
     def _rpc_all(self, assignments: dict[int, tuple]) -> dict[int, object]:
         """Send one message per worker, gather replies, healing crashes.
@@ -689,11 +892,13 @@ class ParallelSimRankService(QueryServiceBase):
     def apply_update_stream(self, updates: Iterable[EdgeUpdate]) -> int:
         """Apply an ordered update stream to the coordinator's graph.
 
-        Workers keep serving the previous epoch until :meth:`sync`
-        publishes the new one (immediately under ``auto_sync``).  Unlike
-        the sequential service there is no per-update incremental path —
-        worker processes cannot observe coordinator-side mutations, so
-        every mounted method is maintained by the epoch rebuild.
+        Workers keep serving the previous state until :meth:`sync` ships
+        it (immediately under ``auto_sync``): as an O(Δ) delta burst when
+        the resolved ``maintenance`` path is ``"delta"``, as an O(m) epoch
+        rebuild otherwise.  The updates (and the neighborhood they touch —
+        read *before* each update lands, see
+        :func:`~repro.graph.dynamic.touched_neighborhood`) are accumulated
+        here so a later deferred sync ships exactly this stream.
         """
         if self._digraph is None:
             raise ConfigurationError(
@@ -701,30 +906,123 @@ class ParallelSimRankService(QueryServiceBase):
                 "frozen snapshot"
             )
         count = 0
+        track_deltas = self._maintenance == "delta"
         try:
             for update in updates:
+                # neighborhood read before the edge flips (see the helper's
+                # pre/post equivalence note), but recorded — like the
+                # update itself — only once the mutation succeeded: a
+                # rejected update must never reach a worker mirror
+                touched = (
+                    touched_neighborhood(self._digraph, (update,))
+                    if track_deltas else None
+                )
                 apply_update(self._digraph, update)
+                if track_deltas:  # rebuild syncs never read the accumulators
+                    self._touched_pending |= touched
+                    self._pending_updates.append(update)
                 self._graph_stale = True
                 count += 1
         finally:
-            self.stats.updates_applied += count
+            with self._stats_lock:
+                self.stats.updates_applied += count
             if count and self.auto_sync:
                 self.sync()
         return count
 
     def sync(self) -> None:
-        """Publish the mutated graph as a new epoch and rebarrier the pool.
+        """Ship the accumulated graph mutations to the worker pool.
 
-        Snapshots the coordinator graph, publishes it (new shared-memory
-        generation for the process executor), rebuilds every worker's
-        replicas against it, invalidates superseded cache entries, and only
-        then unlinks the previous generation.  Idempotent when nothing
-        changed.  Wall-clock is charged to ``stats.maintenance_seconds``
-        split evenly across the mounted methods.
+        Delta path (resolved ``maintenance == "delta"``, and the bounded
+        log can hold the burst): append the pending updates to the shared
+        edge-delta log, RPC every worker to absorb them in place
+        (``apply_updates`` on each replica — RNG streams continue), and
+        invalidate only the cache entries whose query node falls in the
+        touched neighborhood.  O(Δ); the graph epoch does not move.
+
+        Rebuild path (``maintenance == "rebuild"``, or the log overflowed
+        — *compaction*): snapshot the coordinator graph, publish it as a
+        fresh shared-memory generation, rebuild every worker's replicas
+        against it, invalidate every superseded cache entry, and only then
+        unlink the previous generation.  O(m); empties the delta log.
+
+        Idempotent when nothing changed.  Wall-clock is charged to
+        ``stats.maintenance_seconds`` split evenly across the mounted
+        methods; ``stats.delta_syncs`` / ``stats.epochs`` count which path
+        each sync took.
         """
         if not self._graph_stale:
             return
         started = time.perf_counter()
+        pending = tuple(self._pending_updates)
+        # the burst must be non-empty for the delta path: a stale graph
+        # with nothing pending only occurs while recovering from an earlier
+        # failed sync, and recovery is exactly what the rebuild provides
+        use_delta = (
+            self._maintenance == "delta"
+            and bool(pending)
+            and self._deltas_since_epoch + len(pending)
+            <= self.delta_log_capacity
+        )
+        delta_error: BaseException | None = None
+        if use_delta:
+            try:
+                self._sync_delta(pending)
+            except Exception as exc:
+                # a mid-burst failure (an estimator raising in
+                # apply_updates, a worker crash storm) can leave some
+                # mirrors updated and others not, with the burst already in
+                # the shared log: fall through to a healing compaction.
+                # The fresh generation rebuilds every replica from the
+                # coordinator graph and empties the log, so the service is
+                # consistent again when the error surfaces — mirroring the
+                # sequential service's "synced over the applied prefix"
+                # guarantee.
+                delta_error = exc
+        if not use_delta or delta_error is not None:
+            # if the rebuild itself raises, every accumulator (and
+            # _graph_stale) is left intact, so a later sync() retries with
+            # the full record instead of silently shipping nothing
+            self._sync_rebuild()
+        # only a completed path — delta absorbed in place, or a rebuild
+        # that folded everything into the fresh generation — spends the
+        # pending record and the staleness flag
+        self._pending_updates = []
+        self._touched_pending = set()
+        self._graph_stale = False
+        elapsed = time.perf_counter() - started
+        with self._stats_lock:
+            self.stats.syncs += 1
+            for key in self._mounts:
+                self.stats.charge_maintenance(key, elapsed / len(self._mounts))
+        if delta_error is not None:
+            raise delta_error
+
+    def _sync_delta(self, pending: tuple[EdgeUpdate, ...]) -> None:
+        """O(Δ) maintenance: ship ``pending`` for in-place absorption."""
+        if self._shm is not None:
+            start, stop = self._shm.append_deltas(pending)
+            payload = ("log", start, stop)
+        else:
+            payload = ("inline", pending)
+        self._rpc_all({w: ("delta", payload) for w in range(self.workers)})
+        self._delta_payloads.append(payload)
+        self._deltas_since_epoch += len(pending)
+        self.cache.invalidate_nodes(self._touched_pending)
+        with self._stats_lock:
+            self.stats.delta_syncs += 1
+            self.stats.delta_updates += len(pending)
+            self.stats.incremental_notifications += (
+                len(pending) * len(self._mounts)
+            )
+
+    def _sync_rebuild(self) -> None:
+        """O(m) maintenance: publish a fresh epoch and rebarrier the pool.
+
+        Under delta maintenance this is *compaction* — the new generation
+        folds every logged delta (plus the burst that overflowed the log)
+        into its CSR arrays, and the log resets to empty.
+        """
         csr = CSRGraph.from_digraph(self._digraph)
         self._num_nodes = csr.num_nodes
         old_epoch = self._epoch
@@ -733,17 +1031,12 @@ class ParallelSimRankService(QueryServiceBase):
         else:
             self._csr = csr
             self._epoch = old_epoch + 1
-        self._rebarrier()
+        self._rebarrier(replay_deltas=False)
         if self._shm is not None:
             self._shm.release_epoch(old_epoch)
         self.cache.invalidate_older(self._epoch)
-        self._graph_stale = False
-        elapsed = time.perf_counter() - started
         with self._stats_lock:
-            self.stats.syncs += 1
             self.stats.epochs += 1
-            for key in self._mounts:
-                self.stats.charge_maintenance(key, elapsed / len(self._mounts))
 
     # ------------------------------------------------------------------ #
     # lifecycle

@@ -27,6 +27,21 @@ Worker side
     :meth:`SharedCSRGraph.reattach` moves an attachment to a newer
     generation.
 
+Edge-delta log (the O(Δ) maintenance path)
+    Publishing a fresh generation costs O(m) — the right price for a bulk
+    replacement, the wrong one for a handful of edge updates.  A
+    ``SharedCSRGraph`` created with ``delta_capacity > 0`` therefore also
+    carries one *delta log* segment (``{base_name}-dlog``): a bounded
+    append-only array of ``(kind, source, target)`` triples shared by every
+    generation.  The owner :meth:`append_deltas` small update bursts and
+    readers :meth:`read_deltas` them zero-copy, applying the deltas to
+    worker-local state in place instead of remapping a whole new CSR
+    generation.  The published entry count lives in the control segment and
+    is bumped only *after* the triples are written, so readers never see a
+    torn entry.  :meth:`publish` (compaction: the log overflowed, or a bulk
+    change arrived) folds everything into a fresh CSR generation and resets
+    the log to empty.
+
 Lifecycle discipline
     Segments are named (they outlive processes), so leak hygiene matters:
     the creator owns unlinking, does it in :meth:`close`, and carries a
@@ -51,11 +66,16 @@ import numpy as np
 
 from repro.errors import GraphError
 from repro.graph.csr import SHM_LAYOUT, CSRGraph, as_csr
+from repro.graph.dynamic import EdgeUpdate
 
 __all__ = ["ShmGraphDescriptor", "SharedCSRGraph"]
 
-#: control segment payload: one little-endian int64 epoch counter.
-_CONTROL_BYTES = 8
+#: control segment payload: int64 epoch counter + int64 delta-log count.
+_CONTROL_BYTES = 16
+
+#: delta-log entry: (kind, source, target) int64 triples; kind codes below.
+_DELTA_FIELDS = 3
+_DELTA_KINDS = ("insert", "delete")
 
 
 def _segment_layout(num_nodes: int, num_edges: int):
@@ -95,17 +115,25 @@ class ShmGraphDescriptor:
     The data segment's name is derived — ``{base_name}-g{epoch}`` — so a
     worker that learns a newer epoch (from the control counter) can attach
     the matching segment without any further coordination.
+    ``delta_capacity > 0`` tells the worker to also map the (per-base,
+    generation-independent) edge-delta log segment.
     """
 
     base_name: str
     epoch: int
     num_nodes: int
     num_edges: int
+    delta_capacity: int = 0
 
     @property
     def data_name(self) -> str:
         """Name of this generation's data segment."""
         return f"{self.base_name}-g{self.epoch}"
+
+    @property
+    def delta_name(self) -> str:
+        """Name of the shared edge-delta log segment."""
+        return f"{self.base_name}-dlog"
 
 
 class SharedCSRGraph:
@@ -121,14 +149,18 @@ class SharedCSRGraph:
         self.base_name = base_name
         self._control = control
         self._owner = owner
-        self._epoch_view: np.ndarray | None = np.ndarray(
-            (1,), dtype=np.int64, buffer=control.buf
+        self._control_view: np.ndarray | None = np.ndarray(
+            (2,), dtype=np.int64, buffer=control.buf
         )
         self._graph: CSRGraph | None = None
         self._descriptor: ShmGraphDescriptor | None = None
-        # owner: every still-linked generation; attachment: current data seg
-        self._segments: dict[int, shared_memory.SharedMemory] = {}
+        # owner: every still-linked generation (plus the "dlog" segment);
+        # attachment: current data seg
+        self._segments: dict[int | str, shared_memory.SharedMemory] = {}
         self._data: shared_memory.SharedMemory | None = None
+        self._dlog: shared_memory.SharedMemory | None = None
+        self._delta_view: np.ndarray | None = None
+        self.delta_capacity = 0
         self._finalizer = weakref.finalize(
             self, SharedCSRGraph._cleanup, base_name, control,
             self._segments, owner,
@@ -139,11 +171,15 @@ class SharedCSRGraph:
     # ------------------------------------------------------------------ #
 
     @classmethod
-    def create(cls, graph, base_name: str | None = None) -> "SharedCSRGraph":
+    def create(
+        cls, graph, base_name: str | None = None, delta_capacity: int = 0
+    ) -> "SharedCSRGraph":
         """Place ``graph``'s CSR snapshot in shared memory as epoch 0.
 
         ``base_name`` defaults to a collision-resistant ``psim-…`` name; it
         must be unique machine-wide (shared-memory names are global).
+        ``delta_capacity > 0`` additionally allocates the bounded edge-delta
+        log segment (that many ``(kind, source, target)`` entries).
         """
         base_name = base_name or f"psim-{os.getpid()}-{secrets.token_hex(4)}"
         control = shared_memory.SharedMemory(
@@ -151,7 +187,19 @@ class SharedCSRGraph:
         )
         shared = cls(base_name, control, owner=True)
         try:
-            shared._epoch_view[0] = -1
+            shared._control_view[:] = (-1, 0)
+            if delta_capacity < 0:
+                raise GraphError(
+                    f"delta_capacity must be >= 0, got {delta_capacity}"
+                )
+            if delta_capacity:
+                shared.delta_capacity = int(delta_capacity)
+                dlog = shared_memory.SharedMemory(
+                    name=f"{base_name}-dlog", create=True,
+                    size=delta_capacity * _DELTA_FIELDS * 8,
+                )
+                shared._segments["dlog"] = dlog
+                shared._map_delta_log(dlog)
             shared.publish(graph)
         except BaseException:
             shared.close()
@@ -173,7 +221,8 @@ class SharedCSRGraph:
         csr = as_csr(graph)
         epoch = self.current_epoch() + 1
         descriptor = ShmGraphDescriptor(
-            self.base_name, epoch, csr.num_nodes, csr.num_edges
+            self.base_name, epoch, csr.num_nodes, csr.num_edges,
+            self.delta_capacity,
         )
         layout, size = _segment_layout(csr.num_nodes, csr.num_edges)
         segment = shared_memory.SharedMemory(
@@ -187,7 +236,10 @@ class SharedCSRGraph:
         self._segments[epoch] = segment
         self._descriptor = descriptor
         self._graph = None  # rebuilt lazily against the new generation
-        self._epoch_view[0] = epoch
+        # the fresh generation subsumes every logged delta: empty the log
+        # first so no reader can pair the new epoch with stale entries
+        self._control_view[1] = 0
+        self._control_view[0] = epoch
         return epoch
 
     def release_epoch(self, epoch: int) -> None:
@@ -212,6 +264,11 @@ class SharedCSRGraph:
         shared = cls(descriptor.base_name, control, owner=False)
         try:
             shared._map_data(descriptor)
+            if descriptor.delta_capacity:
+                shared.delta_capacity = int(descriptor.delta_capacity)
+                shared._map_delta_log(
+                    shared_memory.SharedMemory(name=descriptor.delta_name)
+                )
         except BaseException:
             shared.close()
             raise
@@ -238,6 +295,66 @@ class SharedCSRGraph:
         self._data = segment
         self._descriptor = descriptor
         self._graph = self._view_graph(segment, descriptor)
+
+    # ------------------------------------------------------------------ #
+    # edge-delta log
+    # ------------------------------------------------------------------ #
+
+    def _map_delta_log(self, segment: shared_memory.SharedMemory) -> None:
+        self._dlog = segment
+        self._delta_view = np.ndarray(
+            (self.delta_capacity, _DELTA_FIELDS), dtype=np.int64,
+            buffer=segment.buf,
+        )
+
+    def delta_count(self) -> int:
+        """Published entries currently in the shared edge-delta log."""
+        if self._control_view is None:
+            raise GraphError("SharedCSRGraph is closed")
+        return int(self._control_view[1])
+
+    def append_deltas(self, updates) -> tuple[int, int]:
+        """Append ``updates`` to the shared log; returns their ``[start, stop)``.
+
+        Owner-only.  The triples are written before the published count is
+        bumped, so a concurrent :meth:`read_deltas` can never observe a
+        half-written entry.  Raises :class:`GraphError` when the bounded log
+        cannot hold the burst — the caller's cue to compact via
+        :meth:`publish` instead.
+        """
+        if not self._owner:
+            raise GraphError("only the creating SharedCSRGraph can append deltas")
+        if self._delta_view is None:
+            raise GraphError("this SharedCSRGraph carries no delta log")
+        updates = list(updates)
+        start = self.delta_count()
+        stop = start + len(updates)
+        if stop > self.delta_capacity:
+            raise GraphError(
+                f"delta log overflow: {len(updates)} updates do not fit in "
+                f"{self.delta_capacity - start} free entries — compact by "
+                "publishing a fresh generation"
+            )
+        for row, update in enumerate(updates, start=start):
+            self._delta_view[row] = (
+                _DELTA_KINDS.index(update.kind), update.source, update.target
+            )
+        self._control_view[1] = stop
+        return start, stop
+
+    def read_deltas(self, start: int, stop: int) -> tuple[EdgeUpdate, ...]:
+        """The logged updates in ``[start, stop)``, as :class:`EdgeUpdate`\\ s."""
+        if self._delta_view is None:
+            raise GraphError("this SharedCSRGraph carries no delta log")
+        if not 0 <= start <= stop <= self.delta_count():
+            raise GraphError(
+                f"delta range [{start}, {stop}) outside the published log "
+                f"[0, {self.delta_count()})"
+            )
+        return tuple(
+            EdgeUpdate(_DELTA_KINDS[int(kind)], int(source), int(target))
+            for kind, source, target in self._delta_view[start:stop]
+        )
 
     # ------------------------------------------------------------------ #
     # both sides
@@ -283,9 +400,9 @@ class SharedCSRGraph:
 
     def current_epoch(self) -> int:
         """The live generation counter (read from the control segment)."""
-        if self._epoch_view is None:
+        if self._control_view is None:
             raise GraphError("SharedCSRGraph is closed")
-        return int(self._epoch_view[0])
+        return int(self._control_view[0])
 
     def stale(self) -> bool:
         """True when a newer generation has been published than is mapped."""
@@ -306,16 +423,21 @@ class SharedCSRGraph:
         removed from the system so nothing leaks past the service.
         """
         self._graph = None
-        self._epoch_view = None
+        self._control_view = None
+        self._delta_view = None
         self._descriptor = None
         self._finalizer.detach()
         if self._owner:
             self._cleanup(self.base_name, self._control, self._segments, True)
             self._segments = {}
+            self._dlog = None
         else:
             if self._data is not None:
                 _close_segment(self._data)
                 self._data = None
+            if self._dlog is not None:
+                _close_segment(self._dlog)
+                self._dlog = None
             _close_segment(self._control)
 
     @staticmethod
@@ -342,6 +464,6 @@ class SharedCSRGraph:
         self.close()
 
     def __repr__(self) -> str:
-        state = "closed" if self._epoch_view is None else f"epoch={self.current_epoch()}"
+        state = "closed" if self._control_view is None else f"epoch={self.current_epoch()}"
         role = "owner" if self._owner else "attachment"
         return f"SharedCSRGraph({self.base_name!r}, {role}, {state})"

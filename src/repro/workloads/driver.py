@@ -21,19 +21,34 @@ Two executors replay the trace batch by batch:
 ``executor="process"``
     One :class:`~repro.parallel.pool.ParallelSimRankService` per method:
     the same positional split, but across worker *processes* answering
-    against a shared-memory graph — throughput scales with cores.  Updates
-    are maintained by graph-epoch rebuilds (no per-update incremental
-    path), so ``staleness`` counts unsynced updates for every method.
+    against a shared-memory graph — throughput scales with cores.  The
+    ``maintenance`` knob picks the update path: ``"rebuild"`` publishes a
+    graph epoch per sync (every replica rebuilt, O(m)), ``"delta"`` ships
+    the edge deltas through the shared log and replicas absorb them in
+    place (O(Δ); needs ``capabilities().incremental_updates``), ``"auto"``
+    (default) chooses delta exactly when the method supports it.
+``executor="sequential"``
+    The parallel service's in-process oracle: the identical dispatch,
+    maintenance, and caching schedule with no worker processes.  Its
+    digests are the bit-exactness reference the process executor is held
+    to — including under updates, on both maintenance paths.
 
 Result caching
 --------------
 ``cache_size > 0`` puts an update-aware LRU
 (:class:`~repro.parallel.cache.ResultCache`) in front of the query path,
-keyed ``(method, query, epoch)``.  The epoch advances whenever the serving
-state absorbs updates — per update batch for incremental estimators and
-under ``sync_every=1``, at sync flushes otherwise — so a cache hit is
-always exactly as fresh as the replica would be.  Hit/miss/invalidation
-counters land in each :class:`MethodReport`.
+keyed ``(method, query, epoch)``.  For bulk-synced estimators the epoch
+advances whenever the serving state absorbs updates and the whole cache
+turns over; for incremental estimators (and the process executor's delta
+path) the epoch stands still and only the entries in the updates' touched
+neighborhood are invalidated
+(:meth:`~repro.parallel.cache.ResultCache.invalidate_nodes`) — hot Zipf
+keys stay warm across small updates.  Epoch turnover keeps hits exactly as
+fresh as a recompute; neighborhood invalidation deliberately trades a
+geometrically decaying residual staleness outside the 1-hop set for that
+warmth (see :func:`repro.graph.dynamic.touched_neighborhood`).
+Hit/miss/invalidation counters land in each :class:`MethodReport` via one
+locked snapshot.
 
 Reproducibility
 ---------------
@@ -44,8 +59,15 @@ vector into a running digest in global op order; two runs with the same
 inputs produce bit-identical digests (asserted by the test suite), while
 wall-clock numbers of course vary.  Cache hits reuse the digest fingerprint
 of the answer they were served from, so caching keeps runs bit-reproducible
-too (for fixed knobs); the two executors use different maintenance models,
-so their digests agree only on update-free traces.
+too (for fixed knobs).  Every replay — thread replicas included — starts
+from the *canonical* (CSR-ordered) form of the graph, the order worker
+processes reconstruct from shared memory, so adjacency-order-sensitive
+samplers draw identical streams everywhere: thread and process digests are
+bit-identical on update-free traces, and stay bit-identical under updates
+for incremental methods replayed through the delta path (asserted by the
+test suite).  Under ``maintenance="rebuild"`` the process executor restarts
+replica RNG at every epoch, so there (and only there) executor digests
+diverge on update traces.
 
 Staleness
 ---------
@@ -71,17 +93,24 @@ import numpy as np
 from repro.api.registry import get_entry
 from repro.api.service import SimRankService
 from repro.errors import EvaluationError
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
+from repro.graph.dynamic import touched_neighborhood
 from repro.parallel.cache import ResultCache
-from repro.parallel.pool import ParallelSimRankService, derive_replica_config
+from repro.parallel.pool import (
+    MAINTENANCE_MODES,
+    ParallelSimRankService,
+    derive_replica_config,
+)
 from repro.utils.validation import check_positive_int
 from repro.workloads.generator import WorkloadTrace
 from repro.workloads.stats import LatencyHistogram
 
 __all__ = ["MethodReport", "WorkloadResult", "run_workload"]
 
-#: executors the driver can replay on.
-EXECUTORS = ("thread", "process")
+#: executors the driver can replay on ("sequential" is the process
+#: service's in-process oracle — same schedule, no worker processes).
+EXECUTORS = ("thread", "process", "sequential")
 
 
 @dataclass
@@ -98,11 +127,16 @@ class MethodReport:
     sync_every: int
     executor: str = "thread"
     cache_size: int = 0
+    #: resolved maintenance path: "delta" (updates absorbed in place) or
+    #: "rebuild" (full re-sync / epoch republish per update burst)
+    maintenance: str = "rebuild"
     num_queries: int = 0
     num_updates: int = 0
     wall_seconds: float = 0.0
     maintenance_seconds: float = 0.0
     syncs: int = 0
+    delta_syncs: int = 0
+    epochs: int = 0
     incremental_notifications: int = 0
     worker_restarts: int = 0
     cache: dict[str, object] = field(default_factory=dict)
@@ -159,6 +193,7 @@ class MethodReport:
             "sync_every": self.sync_every,
             "executor": self.executor,
             "cache_size": self.cache_size,
+            "maintenance": self.maintenance,
             "num_queries": self.num_queries,
             "num_updates": self.num_updates,
             "wall_seconds": self.wall_seconds,
@@ -167,6 +202,8 @@ class MethodReport:
             "maintenance_seconds": self.maintenance_seconds,
             "maintenance_per_update_s": self.maintenance_per_update,
             "syncs": self.syncs,
+            "delta_syncs": self.delta_syncs,
+            "epochs": self.epochs,
             "incremental_notifications": self.incremental_notifications,
             "worker_restarts": self.worker_restarts,
             "cache": dict(self.cache),
@@ -214,8 +251,16 @@ def _replay_thread(
     workers: int,
     sync_every: int,
     cache_size: int,
+    maintenance: str,
 ) -> MethodReport:
-    """Thread-executor replay; see the module docstring for the model."""
+    """Thread-executor replay; see the module docstring for the model.
+
+    ``maintenance`` is advisory here — in-process replicas are always
+    maintained by capability (incremental notification when the method
+    supports it, bulk sync otherwise), which is exactly the parallel
+    service's ``"auto"`` resolution.
+    """
+    del maintenance
     entry = get_entry(method)
     service = SimRankService(graph.copy(), methods=(), auto_sync=sync_every == 1)
     aliases = []
@@ -230,6 +275,7 @@ def _replay_thread(
     report = MethodReport(
         method=method, workers=workers, sync_every=sync_every,
         executor="thread", cache_size=cache_size,
+        maintenance="delta" if incremental else "rebuild",
     )
     cache = ResultCache(cache_size)
     epoch = 0
@@ -256,20 +302,33 @@ def _replay_thread(
     with ThreadPoolExecutor(max_workers=workers) as pool:
         for batch in trace:
             if batch.kind == "update":
+                # touched set computed against the pre-batch graph: a burst
+                # only toggles edges between its own endpoints (all of which
+                # are in the set), so pre-batch and per-update reads yield
+                # the same union — see touched_neighborhood
+                touched = (
+                    touched_neighborhood(service.graph, batch.updates)
+                    if incremental else None
+                )
                 service.apply_update_stream(batch.updates)
                 report.num_updates += len(batch.updates)
-                if incremental or sync_every == 1:
-                    epoch += 1  # replicas absorbed the batch: new cache epoch
-                if sync_every > 1:
+                if incremental:
+                    # replicas absorbed the batch in place (delta
+                    # semantics): the epoch stands still and only the
+                    # touched neighborhood turns over — hot keys stay warm
+                    cache.invalidate_nodes(touched)
+                elif sync_every == 1:
+                    epoch += 1  # replicas re-synced: new cache epoch
+                    cache.invalidate_older(epoch)
+                else:
                     unsynced_updates += len(batch.updates)
                     batches_since_sync += 1
                     if batches_since_sync >= sync_every:
                         service.sync()
-                        if not incremental:
-                            epoch += 1
+                        epoch += 1
+                        cache.invalidate_older(epoch)
                         unsynced_updates = 0
                         batches_since_sync = 0
-                cache.invalidate_older(epoch)
                 continue
             # cache probe and batch dedup happen on the coordinator,
             # *before* the split — the same discipline as both services'
@@ -322,7 +381,7 @@ def _replay_thread(
     report.syncs = service.stats.syncs
     report.incremental_notifications = service.stats.incremental_notifications
     if cache.enabled:
-        report.cache = cache.stats.as_dict()
+        report.cache = cache.snapshot()
     report.digest = digest.hexdigest()
     return report
 
@@ -335,18 +394,22 @@ def _replay_process(
     workers: int,
     sync_every: int,
     cache_size: int,
+    maintenance: str,
+    executor: str = "process",
 ) -> MethodReport:
     """Process-executor replay on a :class:`ParallelSimRankService`.
 
-    The service owns the positional split, the shared-memory epochs, and
-    the update-aware cache; the driver contributes the sync cadence and the
-    deterministic digest.  Per-op latency is the batch mean (results cross
-    a process boundary, so op timings are not individually observable from
-    the coordinator).
+    The service owns the positional split, the shared-memory epochs or
+    delta log (per ``maintenance``), and the update-aware cache; the driver
+    contributes the sync cadence and the deterministic digest.  Per-op
+    latency is the batch mean (results cross a process boundary, so op
+    timings are not individually observable from the coordinator).
+    ``executor="sequential"`` replays the identical schedule in-process —
+    the bit-exactness oracle.
     """
     report = MethodReport(
         method=method, workers=workers, sync_every=sync_every,
-        executor="process", cache_size=cache_size,
+        executor=executor, cache_size=cache_size,
     )
     digest = blake2b(digest_size=16)
     unsynced_updates = 0
@@ -359,8 +422,10 @@ def _replay_process(
         workers=workers,
         cache_size=cache_size,
         auto_sync=sync_every == 1,
-        executor="process",
+        maintenance=maintenance,
+        executor=executor,
     )
+    report.maintenance = service.maintenance
     try:
         wall_started = time.perf_counter()
         for batch in trace:
@@ -392,10 +457,14 @@ def _replay_process(
         report.wall_seconds = time.perf_counter() - wall_started
         report.maintenance_seconds = service.stats.total_maintenance_seconds
         report.syncs = service.stats.syncs
-        report.incremental_notifications = 0
+        report.delta_syncs = service.stats.delta_syncs
+        report.epochs = service.stats.epochs
+        report.incremental_notifications = (
+            service.stats.incremental_notifications
+        )
         report.worker_restarts = service.stats.worker_restarts
         if service.cache.enabled:
-            report.cache = service.cache.stats.as_dict()
+            report.cache = service.cache.snapshot()
     finally:
         service.close()
     report.digest = digest.hexdigest()
@@ -411,6 +480,7 @@ def run_workload(
     sync_every: int = 1,
     executor: str = "thread",
     cache_size: int = 0,
+    maintenance: str = "auto",
 ) -> WorkloadResult:
     """Replay ``trace`` once per method and collect comparable reports.
 
@@ -438,11 +508,20 @@ def run_workload(
         larger values trade staleness for maintenance cost.
     executor:
         ``"thread"`` (estimator replicas on a thread pool — the GIL-bound
-        single-process path) or ``"process"`` (the shared-memory
-        multiprocess service; throughput scales with cores).
+        single-process path), ``"process"`` (the shared-memory multiprocess
+        service; throughput scales with cores), or ``"sequential"`` (the
+        process service's in-process oracle — identical schedule, useful
+        for bit-exactness baselines).
     cache_size:
         Capacity of the update-aware single-source result cache in front of
         the query path; ``0`` (default) disables caching.
+    maintenance:
+        Update-maintenance path for the process/sequential executors:
+        ``"rebuild"`` (epoch republish per update burst), ``"delta"``
+        (in-place delta propagation; requires incremental-capable methods),
+        or ``"auto"`` (default — delta exactly when the method supports
+        it).  The thread executor always maintains by capability (its
+        ``"auto"``); the knob is validated but advisory there.
 
     Returns
     -------
@@ -463,6 +542,11 @@ def run_workload(
         raise EvaluationError(
             f"executor must be one of {EXECUTORS}, got {executor!r}"
         )
+    if maintenance not in MAINTENANCE_MODES:
+        raise EvaluationError(
+            f"maintenance must be one of {MAINTENANCE_MODES}, "
+            f"got {maintenance!r}"
+        )
     if cache_size < 0:
         raise EvaluationError(f"cache_size must be >= 0, got {cache_size}")
     if not methods:
@@ -471,16 +555,28 @@ def run_workload(
     unknown = sorted(set(configs) - set(methods))
     if unknown:
         raise EvaluationError(f"configs given for methods not replayed: {unknown}")
-    replay = _replay_thread if executor == "thread" else _replay_process
+    # every replay starts from the canonical (CSR-ordered) form of the
+    # graph: delta-mode worker processes reconstruct their mutable mirrors
+    # from the shared CSR arrays in exactly this order, so starting thread
+    # replicas and rebuild-mode snapshots from it too is what lets
+    # adjacency-order-sensitive samplers (TSF draws neighbors by list
+    # position) agree bit-for-bit across every executor.  The round-trip
+    # is a fixed point, so re-canonicalising downstream changes nothing.
+    graph = CSRGraph.from_digraph(graph).to_digraph()
     result = WorkloadResult(
         trace_signature=trace.signature(),
         trace_config=trace.config.as_dict(),
     )
     for method in methods:
-        result.reports.append(
-            replay(
+        if executor == "thread":
+            report = _replay_thread(
                 graph, trace, method, configs.get(method, {}), workers,
-                sync_every, cache_size,
+                sync_every, cache_size, maintenance,
             )
-        )
+        else:
+            report = _replay_process(
+                graph, trace, method, configs.get(method, {}), workers,
+                sync_every, cache_size, maintenance, executor=executor,
+            )
+        result.reports.append(report)
     return result

@@ -275,3 +275,74 @@ class TestUpdateStreamEdgeCases:
     def test_library_errors_derive_from_repro_error(self):
         assert issubclass(DuplicateEdgeError, ReproError)
         assert issubclass(EdgeNotFoundError, ReproError)
+
+
+class _CountingEstimator(SimRankEstimator):
+    """Instant, stateless estimator so the stress test is all lock traffic."""
+
+    def __init__(self, graph):
+        self.graph = graph
+
+    def single_source(self, query):
+        from repro.core.results import SimRankResult
+
+        return SimRankResult(
+            query=query, scores=np.zeros(self.graph.num_nodes),
+            num_walks=0, elapsed=0.0, method="counting",
+        )
+
+    def sync(self):
+        """Nothing to rebuild."""
+
+    def capabilities(self):
+        return Capabilities(
+            method="counting", exact=False, index_based=False,
+            supports_dynamic=True, incremental_updates=True,
+        )
+
+    def apply_updates(self, updates):
+        """Incremental no-op: accept the notification instantly."""
+
+
+class TestConcurrentMaintenanceStats:
+    def test_counters_exact_under_query_update_overlap(self, toy):
+        """Regression: apply_update_stream/sync used to bump the shared
+        counters (updates_applied, incremental_notifications, syncs,
+        charge_maintenance, _stale) without the stats lock, racing the
+        lock-guarded query counters when replica threads overlap the
+        maintenance thread.  With every path locked, all final counts are
+        exact — lost increments here mean the lock was dropped again."""
+        import threading
+
+        graph = toy.copy()
+        service = SimRankService(graph, methods=())
+        service._estimators["counting"] = _CountingEstimator(graph)
+        service._default = "counting"
+        queries_per_thread, threads = 300, 4
+        rounds, updates_per_round = 25, 2
+        barrier = threading.Barrier(threads + 1)
+
+        def query_loop():
+            barrier.wait()
+            for index in range(queries_per_thread):
+                service.single_source(index % graph.num_nodes)
+
+        workers = [threading.Thread(target=query_loop) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        barrier.wait()
+        edge = (0, 5)
+        for _ in range(rounds):
+            # insert+delete per round: applies cleanly no matter the round
+            service.apply_edges(added=[edge])
+            service.apply_edges(removed=[edge])
+        for worker in workers:
+            worker.join()
+
+        assert service.stats.queries == threads * queries_per_thread
+        assert service.stats.updates_applied == rounds * updates_per_round
+        assert (
+            service.stats.incremental_notifications == rounds * updates_per_round
+        )
+        assert service.stats.syncs == 0  # the only mount is incremental
+        assert not service._stale

@@ -105,7 +105,7 @@ class TestInterface:
         graph = toy.copy()
         index = SLINGIndex(graph, c=TOY_DECAY, theta=0.0, depth=80, d_mode="exact")
         graph.remove_edge(4, 1)
-        index.rebuild()
+        index.sync()
         from repro.eval.ground_truth import compute_ground_truth
 
         truth = compute_ground_truth(graph, c=TOY_DECAY, iterations=80)

@@ -136,7 +136,7 @@ class TestDynamicMaintenance:
         graph = toy.copy()
         index = TSFIndex(graph, rg=10, rq=1, seed=14)
         graph.add_edge(7, 1)  # h -> b
-        index.rebuild()
+        index.sync()
         # after a rebuild every sampled parent must be a *current* in-neighbour
         for g in index._one_way:
             assert int(g[1]) in graph.in_neighbors(1)

@@ -142,7 +142,7 @@ class TestDynamicRefresh:
         before = engine.single_source(0)
         # removing b's in-edge from e changes s(a, b) materially
         graph.remove_edge(4, 1)
-        engine.refresh()
+        engine.sync()
         after = engine.single_source(0)
         from repro.eval.ground_truth import compute_ground_truth
 
@@ -156,8 +156,8 @@ class TestDynamicRefresh:
         engine = ProbeSim(graph, c=TOY_DECAY, eps_a=0.2, seed=8)
         m_before = engine.graph.num_edges
         graph.remove_edge(4, 1)
-        assert engine.graph.num_edges == m_before  # stale until refresh
-        engine.refresh()
+        assert engine.graph.num_edges == m_before  # stale until sync
+        engine.sync()
         assert engine.graph.num_edges == m_before - 1
 
 

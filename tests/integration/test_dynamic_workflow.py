@@ -27,7 +27,7 @@ class TestProbeSimUnderUpdates:
         for i, update in enumerate(stream):
             apply_update(graph, update)
             if i % 20 == 19:  # query at a few checkpoints along the stream
-                engine.refresh()
+                engine.sync()
                 truth = compute_ground_truth(graph, c=0.6, iterations=40)
                 result = engine.single_source(query)
                 assert abs_error_max(result.scores, truth.single_source(query), query) <= 0.1
@@ -38,7 +38,7 @@ class TestProbeSimUnderUpdates:
         graph = evolving_graph
         engine = ProbeSim(graph, eps_a=0.1, delta=0.05, seed=4)
         graph.add_edge(0, 5) if not graph.has_edge(0, 5) else None
-        engine.refresh()
+        engine.sync()
         assert engine.graph.num_edges == graph.num_edges
 
 
@@ -105,7 +105,7 @@ class TestTSFIncrementalMaintenance:
         index.apply_update(EdgeUpdate("delete", *update_edge))
         incremental = time.perf_counter() - start
         start = time.perf_counter()
-        index.rebuild()
+        index.sync()
         rebuild = time.perf_counter() - start
         assert incremental < rebuild * 0.9
 

@@ -76,6 +76,35 @@ class TestInvalidation:
         assert cache.stats.hits == 1
 
 
+class TestNeighborhoodInvalidation:
+    """The delta-maintenance path: drop touched nodes, keep hot keys warm."""
+
+    def test_only_touched_query_nodes_purged(self):
+        cache = ResultCache(8)
+        cache.put("m", 1, 0, "hot")
+        cache.put("m", 2, 0, "touched")
+        cache.put("m", 3, 0, "also hot")
+        assert cache.invalidate_nodes({2}) == 1
+        assert cache.get("m", 2, 0) is None
+        assert cache.get("m", 1, 0) == "hot"  # warm across the update
+        assert cache.get("m", 3, 0) == "also hot"
+        assert cache.stats.invalidations == 1
+
+    def test_purges_across_epochs_and_methods(self):
+        cache = ResultCache(8)
+        cache.put("a", 5, 0, "old epoch")
+        cache.put("a", 5, 1, "new epoch")
+        cache.put("b", 5, 1, "other method")
+        assert cache.invalidate_nodes([5]) == 3
+
+    def test_empty_or_untouched_set_is_a_no_op(self):
+        cache = ResultCache(8)
+        cache.put("m", 1, 0, "x")
+        assert cache.invalidate_nodes(set()) == 0
+        assert cache.invalidate_nodes({99}) == 0
+        assert cache.stats.invalidations == 0
+
+
 class TestStats:
     def test_as_dict_shape(self):
         cache = ResultCache(2)
@@ -87,3 +116,47 @@ class TestStats:
 
     def test_hit_rate_zero_when_unused(self):
         assert ResultCache(2).stats.hit_rate == 0.0
+
+    def test_snapshot_is_locked_and_complete(self):
+        """Reports embed snapshot(): one locked read of every counter plus
+        the live size — the shape workload reports depend on."""
+        cache = ResultCache(2)
+        cache.put("m", 1, 0, "x")
+        cache.get("m", 1, 0)
+        cache.get("m", 2, 0)
+        snap = cache.snapshot()
+        assert snap == {
+            "hits": 1, "misses": 1, "evictions": 0, "invalidations": 0,
+            "hit_rate": 0.5, "size": 1,
+        }
+
+    def test_snapshot_consistent_under_concurrent_lookups(self):
+        """Hammer the cache from worker threads while snapshotting: every
+        snapshot must satisfy the counter invariants (no torn reads)."""
+        import threading
+
+        cache = ResultCache(64)
+        stop = threading.Event()
+
+        def churn():
+            node = 0
+            while not stop.is_set():
+                cache.put("m", node % 64, 0, node)
+                cache.get("m", (node * 7) % 128, 0)
+                node += 1
+
+        workers = [threading.Thread(target=churn) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        try:
+            for _ in range(200):
+                snap = cache.snapshot()
+                lookups = snap["hits"] + snap["misses"]
+                if lookups:
+                    assert snap["hit_rate"] == snap["hits"] / lookups
+                else:
+                    assert snap["hit_rate"] == 0.0
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join()

@@ -284,6 +284,315 @@ class TestPipeDiscipline:
             assert service.stats.worker_restarts == 0
 
 
+INCREMENTAL = "tsf"
+INCREMENTAL_CONFIG = {INCREMENTAL: {"rg": 12, "rq": 3, "depth": 5, "seed": 11}}
+
+
+def make_incremental(graph, executor, workers=3, **kwargs):
+    return ParallelSimRankService(
+        graph.copy(), methods=(INCREMENTAL,), configs=INCREMENTAL_CONFIG,
+        workers=workers, executor=executor, **kwargs,
+    )
+
+
+def collect_with_bursts(service):
+    """Queries interleaved with two small update bursts, scores in order."""
+    out = [r.scores.copy() for r in service.single_source_many(QUERIES)]
+    service.apply_edges(added=[(0, 9), (5, 17)])
+    out.extend(r.scores.copy() for r in service.single_source_many(QUERIES[:6]))
+    service.apply_edges(removed=[(0, 9)])
+    out.append(service.single_source(7).scores.copy())
+    return out
+
+
+class TestDeltaMaintenance:
+    """The O(Δ) path: in-place absorption instead of epoch rebuilds."""
+
+    def test_auto_resolves_by_capability(self, tiny_wiki):
+        with make_incremental(tiny_wiki, "sequential") as incremental, \
+                make_service(tiny_wiki, "sequential") as bulk:
+            assert incremental.maintenance == "delta"
+            assert bulk.maintenance == "rebuild"  # probesim is not incremental
+
+    def test_explicit_delta_needs_incremental_methods(self, tiny_wiki):
+        with pytest.raises(ConfigurationError, match="incremental_updates"):
+            make_service(tiny_wiki, "sequential", maintenance="delta")
+
+    def test_explicit_delta_needs_mutable_graph(self, tiny_wiki_csr):
+        with pytest.raises(ConfigurationError, match="mutable"):
+            ParallelSimRankService(
+                tiny_wiki_csr, methods=(INCREMENTAL,),
+                configs=INCREMENTAL_CONFIG, workers=1,
+                executor="sequential", maintenance="delta",
+            )
+
+    def test_delta_sync_does_not_publish_an_epoch(self, tiny_wiki):
+        with make_incremental(tiny_wiki, "process") as service:
+            service.single_source(3)
+            service.apply_edges(added=[(0, 9)])
+            assert service.epoch == 0  # the graph generation stood still
+            assert service.stats.delta_syncs == 1
+            assert service.stats.delta_updates == 1
+            assert service.stats.epochs == 0
+            assert service.stats.syncs == 1
+            assert service.single_source(3).score(3) == 1.0
+
+    def test_process_matches_sequential_oracle_under_updates(self, tiny_wiki):
+        with make_incremental(tiny_wiki, "process") as parallel, \
+                make_incremental(tiny_wiki, "sequential") as oracle:
+            for got, want in zip(
+                collect_with_bursts(parallel), collect_with_bursts(oracle)
+            ):
+                np.testing.assert_array_equal(got, want)
+
+    def test_delta_runs_are_reproducible(self, tiny_wiki):
+        with make_incremental(tiny_wiki, "process") as first:
+            a = collect_with_bursts(first)
+        with make_incremental(tiny_wiki, "process") as second:
+            b = collect_with_bursts(second)
+        for got, want in zip(a, b):
+            np.testing.assert_array_equal(got, want)
+
+    def test_untouched_hot_keys_stay_warm(self, tiny_wiki):
+        """Fine-grained invalidation: an update far from the hot query must
+        not evict its cached answer (the rebuild path would flush it)."""
+        with make_incremental(tiny_wiki, "process", cache_size=64) as service:
+            hot = 3
+            burst = [(150, 160)]  # far from node 3's 1-hop neighborhood
+            assert hot not in {n for edge in burst for n in edge}
+            first = service.single_source(hot)
+            service.apply_edges(added=burst)
+            again = service.single_source(hot)
+            assert again is first  # still served from the cache
+            assert service.cache.stats.hits == 1
+
+    def test_touched_neighborhood_is_invalidated(self, tiny_wiki):
+        with make_incremental(tiny_wiki, "process", cache_size=64) as service:
+            first = service.single_source(3)
+            service.apply_edges(added=[(3, 9)])  # 3 is an endpoint
+            assert service.cache.stats.invalidations >= 1
+            again = service.single_source(3)
+            assert again is not first  # recomputed against the new graph
+
+    def test_log_overflow_compacts_into_a_fresh_epoch(self, tiny_wiki):
+        with make_incremental(
+            tiny_wiki, "process", delta_log_capacity=3, cache_size=64
+        ) as service:
+            service.single_source(3)
+            service.apply_edges(added=[(0, 9), (5, 17)])   # fits: delta
+            assert service.epoch == 0
+            service.apply_edges(added=[(1, 9), (2, 9)])    # overflows: compact
+            assert service.epoch == 1
+            assert service.stats.delta_syncs == 1
+            assert service.stats.epochs == 1
+            # compaction emptied the log, so small bursts go delta again
+            service.apply_edges(removed=[(0, 9)])
+            assert service.epoch == 1
+            assert service.stats.delta_syncs == 2
+            assert service.single_source(3).score(3) == 1.0
+
+    def test_compaction_matches_sequential_oracle(self, tiny_wiki):
+        def run(executor):
+            with make_incremental(
+                tiny_wiki, executor, delta_log_capacity=3
+            ) as service:
+                return collect_with_bursts(service)
+
+        for got, want in zip(run("process"), run("sequential")):
+            np.testing.assert_array_equal(got, want)
+
+    def test_crash_mid_delta_replays_the_stream(self, tiny_wiki):
+        """A worker killed after absorbing deltas must be revived by
+        replaying build + queries + delta bursts in their original
+        interleaving — its mirror and RNG then match the sequential
+        oracle's exactly."""
+        with make_incremental(tiny_wiki, "sequential") as oracle:
+            oracle.single_source_many(QUERIES)
+            oracle.apply_edges(added=[(0, 9), (5, 17)])
+            oracle.single_source_many(QUERIES[:6])
+            want = [r.scores.copy() for r in oracle.single_source_many(QUERIES)]
+        with make_incremental(tiny_wiki, "process") as service:
+            service.single_source_many(QUERIES)
+            service.apply_edges(added=[(0, 9), (5, 17)])
+            service.single_source_many(QUERIES[:6])
+            service._workers[1].process.kill()
+            service._workers[1].process.join(timeout=10)
+            got = [r.scores.copy() for r in service.single_source_many(QUERIES)]
+            assert service.stats.worker_restarts == 1
+        for a, b in zip(got, want):
+            np.testing.assert_array_equal(a, b)
+
+    def test_failed_delta_burst_heals_by_compaction(self, tiny_wiki):
+        """A replica raising mid-burst must not wedge the service: the
+        burst is already in the log and some mirrors may have applied it,
+        so sync falls back to one epoch rebuild (consistent state), then
+        surfaces the error — and later small bursts go delta again."""
+        from repro.api.estimator import Capabilities, SimRankEstimator
+        from repro.api.registry import _REGISTRY, register
+        from repro.core.results import SimRankResult
+
+        class _FragileIncremental(SimRankEstimator):
+            """Incremental replica that corrupts on one poisoned update."""
+
+            def __init__(self, graph):
+                self.graph = graph
+
+            def single_source(self, query):
+                return SimRankResult(
+                    query=query, scores=np.zeros(self.graph.num_nodes),
+                    num_walks=0, elapsed=0.0, method="fragile",
+                )
+
+            def sync(self):
+                """Nothing to rebuild."""
+
+            def capabilities(self):
+                return Capabilities(
+                    method="fragile", exact=False, index_based=True,
+                    supports_dynamic=True, incremental_updates=True,
+                    parallel_safe=True,
+                )
+
+            def apply_updates(self, updates):
+                for update in updates:
+                    if update.target == 150:
+                        raise RuntimeError("replica corrupted")
+
+        name = "fragile-incremental-test"
+        register(name, lambda graph: _FragileIncremental(graph),
+                 capabilities=_FragileIncremental(None).capabilities(),
+                 replace=True)
+        try:
+            with ParallelSimRankService(
+                tiny_wiki.copy(), methods=(name,), workers=2,
+                executor="sequential", maintenance="delta",
+            ) as service:
+                service.apply_edges(added=[(0, 9)])  # healthy burst: delta
+                assert service.stats.delta_syncs == 1
+                assert service.epoch == 0
+                with pytest.raises(QueryError, match="replica corrupted"):
+                    service.apply_edges(added=[(0, 150)])  # poisoned burst
+                # healed: the compaction published the mutated graph as a
+                # fresh epoch, every replica was rebuilt, the log is empty
+                assert service.epoch == 1
+                assert service.stats.epochs == 1
+                assert service.graph.has_edge(0, 150)
+                assert service.single_source(3).query == 3  # still serving
+                service.apply_edges(added=[(1, 9)])  # delta path works again
+                assert service.stats.delta_syncs == 2
+                assert service.epoch == 1
+        finally:
+            _REGISTRY.pop(name, None)
+
+    def test_rejected_update_never_reaches_the_pending_burst(self, tiny_wiki):
+        """A rejected mutation (duplicate insert) must leave no trace in
+        the pending delta record: the next sync ships only the updates the
+        graph actually took, instead of poisoning every worker mirror."""
+        from repro.errors import DuplicateEdgeError
+
+        existing = next(iter(tiny_wiki.edges()))
+        with make_incremental(
+            tiny_wiki, "sequential", auto_sync=False
+        ) as service:
+            service.apply_edges(added=[(0, 9)])  # valid, deferred
+            with pytest.raises(DuplicateEdgeError):
+                service.apply_edges(added=[existing])
+            service.sync()  # ships exactly the one applied update
+            assert service.stats.delta_syncs == 1
+            assert service.stats.delta_updates == 1
+            assert service.single_source(3).query == 3
+
+    def test_mixed_batch_failure_syncs_applied_prefix_unmasked(self, tiny_wiki):
+        """Under auto_sync a mid-batch rejection still flushes the applied
+        prefix through the delta path, and the caller sees the original
+        graph error — not a worker-side QueryError from a poisoned burst."""
+        from repro.errors import DuplicateEdgeError
+
+        existing = next(iter(tiny_wiki.edges()))
+        with make_incremental(tiny_wiki, "sequential") as service:
+            with pytest.raises(DuplicateEdgeError):
+                service.apply_edges(added=[(0, 9), existing])
+            assert service.stats.updates_applied == 1
+            assert service.stats.delta_syncs == 1
+            assert service.stats.delta_updates == 1
+            assert service.graph.has_edge(0, 9)
+
+    def test_failed_rebuild_retry_does_not_drop_the_burst(self, tiny_wiki):
+        """If the rebuild/compaction attempt dies transiently, the pending
+        record and the staleness flag must survive, so the retry actually
+        delivers the mutations instead of shipping an empty delta and
+        declaring the service clean."""
+        with make_incremental(
+            tiny_wiki, "sequential", auto_sync=False, delta_log_capacity=2
+        ) as service:
+            service.apply_edges(added=[(0, 9), (5, 17), (1, 9)])  # > capacity
+            original = service._rebarrier
+
+            def exploding_rebarrier(replay_deltas=False):
+                raise RuntimeError("transient rebuild failure")
+
+            service._rebarrier = exploding_rebarrier
+            with pytest.raises(RuntimeError, match="transient"):
+                service.sync()
+            assert service._graph_stale
+            assert len(service._pending_updates) == 3
+            service._rebarrier = original
+            service.sync()  # the retry performs the real rebuild
+            assert not service._graph_stale
+            assert service.stats.epochs == 1  # one *completed* rebuild
+            # worker mirrors caught up with the coordinator graph
+            mirror = service._workers[0].core.mirror
+            assert mirror.num_edges == service.graph.num_edges
+            assert mirror.has_edge(1, 9)
+
+    def test_delta_heavy_epoch_does_not_thrash_rollover(self):
+        """Regression: delta payloads re-shipped by a rollover land back in
+        the fresh histories — if they counted toward the rollover trigger,
+        an epoch with >= history_limit delta bursts would rebuild the pool
+        on every subsequent query, forever.  Only queries count."""
+        from repro.graph import DiGraph
+
+        cycle = DiGraph.from_edges(
+            [(i, (i + 1) % 12) for i in range(12)]
+        )
+        with ParallelSimRankService(
+            cycle, methods=(INCREMENTAL,),
+            configs={INCREMENTAL: {"rg": 6, "rq": 2, "depth": 3, "seed": 5}},
+            workers=1, executor="sequential", maintenance="delta",
+            history_limit=4,
+        ) as service:
+            rebarriers = 0
+            original = service._rebarrier
+
+            def spy(replay_deltas=False):
+                nonlocal rebarriers
+                rebarriers += 1
+                original(replay_deltas)
+
+            service._rebarrier = spy
+            for i in range(6):  # 6 delta payloads > history_limit
+                service.apply_edges(added=[(i, (i + 2) % 12)])
+            assert service.stats.delta_syncs == 6
+            for _ in range(9):
+                service.single_source(0)
+            # rollovers fire once per history_limit served queries (the
+            # check precedes each query) — not once per query
+            assert rebarriers == 2
+
+    def test_rollover_replays_delta_stream(self, tiny_wiki):
+        """The history-bounding rollover rebuilds replicas at the epoch
+        base, so it must re-ship the epoch's deltas — and stay bit-exact
+        against the sequential executor rolling over at the same instants."""
+        def run(executor):
+            with make_incremental(
+                tiny_wiki, executor, history_limit=8
+            ) as service:
+                return collect_with_bursts(service)
+
+        for got, want in zip(run("process"), run("sequential")):
+            np.testing.assert_array_equal(got, want)
+
+
 class TestHistoryRollover:
     def test_histories_stay_bounded(self, tiny_wiki):
         with make_service(tiny_wiki, "process", history_limit=6) as service:

@@ -199,6 +199,107 @@ class TestProcessExecutor:
             run(tiny_wiki, trace, executor="coroutine")
 
 
+class TestMaintenanceMatrix:
+    """Update-heavy replays across executor × maintenance combinations.
+
+    The acceptance property of the delta path: for an incremental-capable
+    method, thread replicas (per-update notification, RNG streams continue)
+    and process workers absorbing the same deltas in place are the *same*
+    computation — digests agree bit for bit even on a write-heavy trace.
+    Under forced rebuild maintenance the process workers restart replica
+    RNG at every epoch, so only reproducibility (not cross-executor
+    equality) is promised there.
+    """
+
+    @pytest.fixture(scope="class")
+    def heavy_trace(self, tiny_wiki):
+        """Update-heavy: at read_fraction 0.5, half the ops mutate edges."""
+        trace = generate_workload(
+            tiny_wiki, num_ops=60, read_fraction=0.5, zipf_s=1.1, seed=21
+        )
+        assert trace.num_updates > 0
+        return trace
+
+    def tsf(self, graph, trace, **kwargs):
+        return run(
+            graph, trace, methods=["tsf"], configs={"tsf": CONFIGS["tsf"]},
+            workers=2, **kwargs,
+        ).reports[0]
+
+    @pytest.mark.parametrize("cache_size", [0, 128])
+    def test_thread_matches_process_delta_under_updates(
+        self, tiny_wiki, heavy_trace, cache_size
+    ):
+        thread = self.tsf(
+            tiny_wiki, heavy_trace, executor="thread", cache_size=cache_size
+        )
+        process = self.tsf(
+            tiny_wiki, heavy_trace, executor="process",
+            maintenance="delta", cache_size=cache_size,
+        )
+        assert thread.digest == process.digest
+        assert thread.maintenance == process.maintenance == "delta"
+        assert process.delta_syncs > 0
+        assert process.epochs == 0  # no epoch ever published
+
+    def test_process_delta_matches_sequential_oracle(
+        self, tiny_wiki, heavy_trace
+    ):
+        process = self.tsf(
+            tiny_wiki, heavy_trace, executor="process",
+            maintenance="delta", cache_size=128,
+        )
+        oracle = self.tsf(
+            tiny_wiki, heavy_trace, executor="sequential",
+            maintenance="delta", cache_size=128,
+        )
+        assert process.digest == oracle.digest
+
+    @pytest.mark.parametrize("maintenance", ["delta", "rebuild"])
+    def test_each_maintenance_mode_is_reproducible(
+        self, tiny_wiki, heavy_trace, maintenance
+    ):
+        first = self.tsf(
+            tiny_wiki, heavy_trace, executor="process", maintenance=maintenance
+        )
+        second = self.tsf(
+            tiny_wiki, heavy_trace, executor="process", maintenance=maintenance
+        )
+        assert first.digest == second.digest
+        assert first.maintenance == maintenance
+
+    def test_rebuild_matches_sequential_oracle(self, tiny_wiki, heavy_trace):
+        process = self.tsf(
+            tiny_wiki, heavy_trace, executor="process", maintenance="rebuild"
+        )
+        oracle = self.tsf(
+            tiny_wiki, heavy_trace, executor="sequential", maintenance="rebuild"
+        )
+        assert process.digest == oracle.digest
+        assert process.epochs > 0
+
+    def test_delta_keeps_hot_keys_warm(self, tiny_wiki):
+        """Fine-grained invalidation beats the epoch flush on hit rate:
+        same Zipf-hot update-heavy trace, strictly more cache hits through
+        the delta path than through forced rebuilds."""
+        trace = generate_workload(
+            tiny_wiki, num_ops=80, read_fraction=0.6, zipf_s=1.4, seed=27
+        )
+        delta = self.tsf(
+            tiny_wiki, trace, executor="sequential",
+            maintenance="delta", cache_size=256,
+        )
+        rebuild = self.tsf(
+            tiny_wiki, trace, executor="sequential",
+            maintenance="rebuild", cache_size=256,
+        )
+        assert delta.cache["hit_rate"] > rebuild.cache["hit_rate"]
+
+    def test_unknown_maintenance_rejected(self, tiny_wiki, heavy_trace):
+        with pytest.raises(EvaluationError, match="maintenance"):
+            run(tiny_wiki, heavy_trace, maintenance="lazy")
+
+
 class TestResultCache:
     @pytest.fixture(scope="class")
     def hot_trace(self, tiny_wiki):
