@@ -191,6 +191,21 @@ class QueryServiceBase:
             raise QueryError(f"k must be positive, got {k}")
         return [result.topk(k) for result in self.single_source_many(queries, method)]
 
+    def close(self) -> None:
+        """Release any resources the service holds.  Idempotent.
+
+        The in-process service has nothing to tear down; the process-parallel
+        service overrides this to stop workers and unlink shared memory.
+        """
+
+    def __enter__(self):
+        """Context-manager support: ``with service: ...`` guarantees
+        :meth:`close` on exit, however the block ends."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
 
 class SimRankService(QueryServiceBase):
     """One graph, many estimators, batched queries, unified maintenance.

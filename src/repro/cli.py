@@ -14,6 +14,13 @@ Subcommands
     Generate a mixed query/update trace and replay it against one or more
     methods, printing latency percentiles / QPS / maintenance cost
     (optionally persisting the full JSON report with ``--json``).
+``serve``
+    Start the asyncio HTTP front door (:mod:`repro.server`) over a graph:
+    JSON query endpoints with request coalescing, admission control, and a
+    Prometheus ``/metrics`` exposition.
+``loadgen``
+    Replay a generated workload trace against a running ``serve`` instance
+    open-loop at a target arrival rate and print p50/p95/p99/QPS/shed-rate.
 ``stats``
     Print Table 3-style statistics for an edge-list graph.
 ``dataset``
@@ -36,6 +43,10 @@ Examples
         --ops 400 --read-fraction 0.9 --workers 2 --seed 7 --json /tmp/wl.json
     python -m repro workload /tmp/wv.txt --methods tsf --read-fraction 0.5 \\
         --executor process --maintenance delta --cache-size 512 --seed 7
+    python -m repro serve --dataset wiki-vote --scale tiny --port 8080 \\
+        --methods probesim-batched --seed 7 --query-seeded
+    python -m repro loadgen --dataset wiki-vote --scale tiny --port 8080 \\
+        --rate 200 --ops 400 --seed 3
 """
 
 from __future__ import annotations
@@ -45,7 +56,7 @@ import sys
 
 from repro.api.registry import capability_rows, create, get_entry, method_names
 from repro.datasets import DATASETS, load_dataset
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.eval.reporting import format_table, markdown_table, write_json_report
 from repro.graph import compute_stats, read_edge_list, write_edge_list
 
@@ -231,6 +242,120 @@ def _cmd_workload(args) -> int:
     return 0
 
 
+def _serve_graph(args):
+    """Resolve the served graph: an edge-list path or a generated dataset."""
+    if args.graph is not None and args.dataset is not None:
+        raise ConfigurationError("give either a graph path or --dataset, not both")
+    if args.graph is not None:
+        return read_edge_list(args.graph)
+    if args.dataset is not None:
+        return load_dataset(args.dataset, scale=args.scale)
+    raise ConfigurationError("serve/loadgen need a graph path or --dataset")
+
+
+def _serve_method_configs(args, methods: list[str]) -> dict[str, dict]:
+    """Per-method config dicts from the serve option set."""
+    shared = {
+        "c": args.c, "eps_a": args.eps_a, "delta": args.delta,
+        "seed": args.seed, "num_walks": args.num_walks,
+        "query_seeded": True if args.query_seeded else None,
+    }
+    configs = {}
+    for name in methods:
+        keys = get_entry(name).config_keys
+        configs[name] = {
+            key: value for key, value in shared.items()
+            if key in keys and value is not None
+        }
+    return configs
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.api.service import SimRankService
+    from repro.parallel.pool import ParallelSimRankService
+    from repro.server import ServerConfig, SimRankHTTPApp
+
+    graph = _serve_graph(args)
+    methods = [name.strip() for name in args.methods.split(",") if name.strip()]
+    configs = _serve_method_configs(args, methods)
+    if args.workers > 0:
+        service = ParallelSimRankService(
+            graph, methods=tuple(methods), configs=configs,
+            workers=args.workers, cache_size=args.cache_size,
+        )
+    else:
+        service = SimRankService(graph, methods=tuple(methods), configs=configs)
+    app = SimRankHTTPApp(service, ServerConfig(
+        host=args.host,
+        port=args.port,
+        coalesce=not args.no_coalesce,
+        coalesce_window=args.coalesce_window,
+        coalesce_max_batch=args.coalesce_max_batch,
+        admission_capacity=args.admission_capacity,
+        retry_after=args.retry_after,
+        deadline_s=args.deadline,
+        scores_limit=args.scores_limit,
+    ))
+
+    async def run() -> None:
+        await app.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-posix loops
+                pass
+        print(
+            f"serving {methods} on http://{args.host}:{app.port} "
+            f"(workers={args.workers}, coalesce={not args.no_coalesce}); "
+            "ctrl-c to stop",
+            flush=True,
+        )
+        try:
+            await stop.wait()
+        finally:
+            await app.aclose()
+            print("server closed", flush=True)
+
+    asyncio.run(run())
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+
+    from repro.server.loadgen import requests_from_trace, run_load
+    from repro.workloads import generate_workload
+
+    graph = _serve_graph(args)
+    ops = min(args.ops, 30) if args.smoke else args.ops
+    rate = min(args.rate, 100.0) if args.smoke else args.rate
+    trace = generate_workload(
+        graph, num_ops=ops, read_fraction=1.0, zipf_s=args.zipf, seed=args.seed,
+    )
+    requests = requests_from_trace(
+        trace, kind=args.kind, k=args.k, limit=args.limit,
+        method=args.target_method,
+    )
+    report = asyncio.run(run_load(
+        args.host, args.port, requests, rate, timeout=args.timeout,
+    ))
+    print(format_table(
+        [report.as_row()],
+        title=(f"loadgen: {len(requests)} {args.kind} requests at "
+               f"{rate:g}/s against {args.host}:{args.port} "
+               f"(trace {trace.signature()[:12]})"),
+    ))
+    if args.json:
+        path = write_json_report(args.json, report.to_dict())
+        print(f"wrote JSON report to {path}")
+    return 0 if report.errors == 0 else 1
+
+
 def _cmd_stats(args) -> int:
     graph = read_edge_list(args.graph)
     stats = compute_stats(graph)
@@ -323,6 +448,87 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--rq", type=int, default=None, help="TSF reuse count")
     workload.add_argument("--theta", type=float, default=None, help="SLING threshold")
     workload.set_defaults(func=_cmd_workload)
+
+    def _add_graph_source(p: argparse.ArgumentParser) -> None:
+        p.add_argument("graph", nargs="?", default=None,
+                       help="edge-list file (SNAP format, .gz ok); or use --dataset")
+        p.add_argument("--dataset", default=None, choices=sorted(DATASETS),
+                       help="serve a generated stand-in dataset instead of a file")
+        p.add_argument("--scale", default="tiny", choices=("tiny", "small", "paper"),
+                       help="stand-in dataset scale (with --dataset)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve SimRank queries over HTTP (coalescing + admission control)",
+    )
+    _add_graph_source(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 = OS-assigned)")
+    serve.add_argument("--methods", default="probesim-batched",
+                       help="comma-separated registry names to mount")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="worker processes (0 = in-process sequential service)")
+    serve.add_argument("--cache-size", type=int, default=0, dest="cache_size",
+                       help="update-aware result cache capacity "
+                            "(workers > 0 only; 0 disables)")
+    serve.add_argument("--no-coalesce", action="store_true", dest="no_coalesce",
+                       help="dispatch each request individually (micro-batching off)")
+    serve.add_argument("--coalesce-window", type=float, default=0.002,
+                       dest="coalesce_window",
+                       help="micro-batch collection window in seconds")
+    serve.add_argument("--coalesce-max-batch", type=int, default=64,
+                       dest="coalesce_max_batch",
+                       help="distinct queries per micro-batch before early dispatch")
+    serve.add_argument("--admission-capacity", type=int, default=None,
+                       dest="admission_capacity",
+                       help="per-lane in-flight bound before 503 shedding")
+    serve.add_argument("--retry-after", type=float, default=1.0, dest="retry_after",
+                       help="Retry-After seconds advertised on 503")
+    serve.add_argument("--deadline", type=float, default=30.0,
+                       help="per-request deadline seconds (504 on expiry)")
+    serve.add_argument("--scores-limit", type=int, default=10, dest="scores_limit",
+                       help="score pairs per single-source response body")
+    serve.add_argument("--c", type=float, default=None, help="decay factor")
+    serve.add_argument("--eps-a", type=float, default=None, dest="eps_a")
+    serve.add_argument("--delta", type=float, default=None)
+    serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument("--num-walks", type=int, default=None, dest="num_walks")
+    serve.add_argument("--query-seeded", action="store_true", dest="query_seeded",
+                       help="derive one RNG stream per (seed, query) so "
+                            "coalesced batches are bit-identical to "
+                            "sequential per-query answers (needs --seed)")
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop load generation against a running `repro serve`",
+    )
+    _add_graph_source(loadgen)
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8080)
+    loadgen.add_argument("--rate", type=float, default=100.0,
+                         help="offered arrival rate, requests/second")
+    loadgen.add_argument("--ops", type=int, default=200,
+                         help="requests in the replayed trace")
+    loadgen.add_argument("--zipf", type=float, default=1.0,
+                         help="query-key Zipf skew exponent (0 = uniform)")
+    loadgen.add_argument("--seed", type=int, default=None, help="trace seed")
+    loadgen.add_argument("--kind", default="single_source",
+                         choices=("single_source", "topk"))
+    loadgen.add_argument("--k", type=int, default=None, help="top-k size (topk kind)")
+    loadgen.add_argument("--limit", type=int, default=None,
+                         help="score pairs per single-source response")
+    loadgen.add_argument("--method", default=None, dest="target_method",
+                         help="served method name to request (default: "
+                              "the server's default)")
+    loadgen.add_argument("--timeout", type=float, default=30.0,
+                         help="per-request socket budget in seconds")
+    loadgen.add_argument("--smoke", action="store_true",
+                         help="tiny CI run: caps ops at 30 and rate at 100/s")
+    loadgen.add_argument("--json", default=None,
+                         help="also write the JSON report to this path")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     stats = sub.add_parser("stats", help="print graph statistics")
     stats.add_argument("graph", help="edge-list file")

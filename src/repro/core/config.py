@@ -166,6 +166,19 @@ class ProbeSimConfig:
         ``c0 * weight * n``.
     seed:
         Seed for all randomness (int, Generator, or None).
+    query_seeded:
+        When True, every single-source computation draws from a fresh RNG
+        stream derived from ``(seed, query)`` instead of advancing one
+        shared stream across calls.  A query's answer then depends only on
+        ``(config, graph, query)`` — not on which batch it arrived in or
+        what was asked before it — which is what lets a serving tier
+        coalesce concurrent requests into arbitrary batches while staying
+        bit-identical to sequential per-query calls
+        (:mod:`repro.server.coalesce`).  Requires an explicit integer
+        ``seed`` (there is no reproducible derivation from OS entropy or a
+        caller-owned generator).  Walks within one query remain draws from
+        a single stream, so Theorem 1's variance analysis is untouched;
+        only the stream's *origin* changes.
     """
 
     c: float = 0.6
@@ -183,6 +196,7 @@ class ProbeSimConfig:
     max_walk_length: int | None = None
     hybrid_switch_constant: float = 0.5
     seed: object = None
+    query_seeded: bool = False
 
     def __post_init__(self) -> None:
         check_probability("c", self.c)
@@ -219,6 +233,12 @@ class ProbeSimConfig:
         if self.hybrid_switch_constant <= 0:
             raise ConfigurationError(
                 f"hybrid_switch_constant must be positive, got {self.hybrid_switch_constant!r}"
+            )
+        if self.query_seeded and not isinstance(self.seed, int):
+            raise ConfigurationError(
+                "query_seeded=True derives one RNG stream per (seed, query) "
+                "and therefore needs an explicit integer seed; got "
+                f"{self.seed!r}"
             )
         # Resolve the budget eagerly so invalid splits fail at construction.
         object.__setattr__(self, "_budget", self._solve_budget())

@@ -57,7 +57,7 @@ from repro.core.walk_trie import WalkTrie
 from repro.core.walks import sample_walk_arrays, sample_walk_batch
 from repro.errors import QueryError
 from repro.graph.csr import CSRGraph, as_csr
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, derive_stream
 from repro.utils.timer import Timer
 
 
@@ -212,8 +212,21 @@ class ProbeSim(SimRankEstimator):
     # batched trie-sharing engine (repro.core.batch_engine)
     # ------------------------------------------------------------------ #
 
+    def _begin_query(self, query: int) -> None:
+        """Rebase the RNG on a per-``(seed, query)`` stream when configured.
+
+        With ``query_seeded`` every query's randomness starts from a stream
+        derived only from ``(config.seed, query)``, so its answer is a pure
+        function of ``(config, graph, query)`` — independent of call order
+        and of how queries are grouped into batches.  A no-op (one shared
+        sequential stream) otherwise.
+        """
+        if self.config.query_seeded:
+            self._rng = derive_stream(self.config.seed, query)
+
     def _sample_trie(self, query: int, stats: QueryStats) -> WalkTrie:
         """Sample this query's walk batch straight into a prefix trie."""
+        self._begin_query(query)
         cfg = self.config
         nodes, lengths = sample_walk_arrays(
             self._csr,
@@ -300,6 +313,7 @@ class ProbeSim(SimRankEstimator):
         return results
 
     def _sample_walks(self, query: int, stats: QueryStats) -> list[list[int]]:
+        self._begin_query(query)
         cfg = self.config
         nr = cfg.walk_count(self._csr.num_nodes)
         max_len = cfg.walk_truncation()

@@ -63,3 +63,24 @@ class DatasetError(ReproError):
 
 class EvaluationError(ReproError):
     """An evaluation protocol (pooling, ground truth) was misused."""
+
+
+class ServerError(ReproError):
+    """The HTTP serving tier could not parse, admit, or answer a request."""
+
+
+class ProtocolError(ServerError):
+    """A malformed or oversized HTTP message (maps to a 4xx response)."""
+
+
+class AdmissionError(ServerError):
+    """A request was shed by admission control (maps to 503 + Retry-After)."""
+
+    def __init__(self, lane: str, capacity: int, retry_after: float) -> None:
+        super().__init__(
+            f"admission lane {lane!r} is full ({capacity} in flight); "
+            f"retry after {retry_after:g}s"
+        )
+        self.lane = lane
+        self.capacity = capacity
+        self.retry_after = retry_after

@@ -10,6 +10,7 @@ from repro.eval.metrics import (
     ndcg_at_k,
     precision_at_k,
 )
+from repro.eval.metrics_export import flatten_metrics, render_prometheus, service_metrics
 from repro.eval.pooling import PoolingEvaluation, pool_evaluate
 from repro.eval.queries import sample_query_nodes
 from repro.eval.reporting import format_table, markdown_table, write_json_report
@@ -24,14 +25,17 @@ __all__ = [
     "abs_error_max",
     "abs_error_mean",
     "compute_ground_truth",
+    "flatten_metrics",
     "format_table",
     "kendall_tau",
     "markdown_table",
     "ndcg_at_k",
     "pool_evaluate",
     "precision_at_k",
+    "render_prometheus",
     "run_single_source",
     "run_topk",
     "sample_query_nodes",
+    "service_metrics",
     "write_json_report",
 ]

@@ -1067,11 +1067,7 @@ class ParallelSimRankService(QueryServiceBase):
             self._shm.close()
             self._shm = None
 
-    def __enter__(self) -> "ParallelSimRankService":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
+    # __enter__/__exit__ come from QueryServiceBase: `with` guarantees close().
 
     def __repr__(self) -> str:
         return (

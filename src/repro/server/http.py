@@ -1,0 +1,223 @@
+"""A minimal HTTP/1.1 layer over asyncio streams.
+
+The serving tier deliberately speaks plain HTTP/1.1 through the standard
+library instead of depending on a framework: the container this repo
+targets ships no asgi server, and the endpoint surface
+(:mod:`repro.server.app`) is five JSON routes — small enough that a
+framework would mostly add a dependency.  This module owns the wire
+format only: request parsing (:func:`read_request`), response rendering
+(:func:`render_response`), and the response-side parser the load
+generator uses (:func:`read_response`).  Routing, admission, and
+dispatch live in :mod:`repro.server.app`.
+
+Limits are explicit and conservative: header blocks are capped at
+:data:`MAX_HEADER_BYTES` and bodies at the caller-chosen maximum, so a
+misbehaving client cannot balloon server memory.  Violations raise
+:class:`repro.errors.ProtocolError`, which the app maps to a 4xx.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "HTTPRequest",
+    "HTTPResponse",
+    "MAX_HEADER_BYTES",
+    "STATUS_REASONS",
+    "read_request",
+    "read_response",
+    "render_response",
+]
+
+#: hard cap on the request line + header block, in bytes.
+MAX_HEADER_BYTES = 16_384
+
+#: the status codes this tier emits.
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request: verb, path, lower-cased headers, raw body."""
+
+    method: str
+    path: str
+    version: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """HTTP/1.1 defaults to keep-alive unless the client opts out."""
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def json(self) -> object:
+        """Decode the body as JSON (empty body decodes to ``{}``).
+
+        Raises :class:`ProtocolError` on undecodable payloads, so route
+        handlers can treat "bad JSON" and "bad HTTP" uniformly as 400s.
+        """
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from None
+
+
+@dataclass
+class HTTPResponse:
+    """One parsed response (client side; used by the load generator)."""
+
+    status: int
+    reason: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+def _parse_headers(block: bytes) -> dict[str, str]:
+    """Parse ``Name: value`` lines into a lower-cased-key dict."""
+    headers: dict[str, str] = {}
+    for raw in block.split(b"\r\n"):
+        if not raw:
+            continue
+        name, sep, value = raw.partition(b":")
+        if not sep:
+            raise ProtocolError(f"malformed header line {raw[:80]!r}")
+        try:
+            headers[name.decode("ascii").strip().lower()] = (
+                value.decode("latin-1").strip()
+            )
+        except UnicodeDecodeError:
+            raise ProtocolError(f"non-ascii header name {name[:80]!r}") from None
+    return headers
+
+
+async def _read_head(reader: asyncio.StreamReader) -> bytes | None:
+    """Read up to the blank line ending the header block; None on clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # connection closed between requests: clean EOF
+        raise ProtocolError("connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(
+            f"header block exceeds {MAX_HEADER_BYTES} bytes"
+        ) from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header block exceeds {MAX_HEADER_BYTES} bytes")
+    return head
+
+
+def _content_length(headers: dict[str, str], limit: int) -> int:
+    if "transfer-encoding" in headers:
+        raise ProtocolError("chunked transfer encoding is not supported")
+    raw = headers.get("content-length", "0")
+    try:
+        length = int(raw)
+    except ValueError:
+        raise ProtocolError(f"invalid Content-Length {raw!r}") from None
+    if length < 0:
+        raise ProtocolError(f"invalid Content-Length {raw!r}")
+    if length > limit:
+        raise ProtocolError(f"request body of {length} bytes exceeds cap {limit}")
+    return length
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = 1_048_576
+) -> HTTPRequest | None:
+    """Parse one request off ``reader``.
+
+    Returns ``None`` on a clean EOF between requests (the client hung up a
+    keep-alive connection); raises :class:`ProtocolError` for anything
+    malformed, oversized, or truncated mid-message.
+    """
+    head = await _read_head(reader)
+    if head is None:
+        return None
+    request_line, _, header_block = head[:-4].partition(b"\r\n")
+    parts = request_line.split(b" ")
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed request line {request_line[:80]!r}")
+    try:
+        method, path, version = (p.decode("ascii") for p in parts)
+    except UnicodeDecodeError:
+        raise ProtocolError("non-ascii request line") from None
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise ProtocolError(f"unsupported HTTP version {version!r}")
+    headers = _parse_headers(header_block)
+    length = _content_length(headers, max_body)
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError("connection closed mid-body") from None
+    return HTTPRequest(method=method, path=path, version=version,
+                       headers=headers, body=body)
+
+
+async def read_response(
+    reader: asyncio.StreamReader, max_body: int = 16_777_216
+) -> HTTPResponse | None:
+    """Parse one response off ``reader`` (the load generator's client side)."""
+    head = await _read_head(reader)
+    if head is None:
+        return None
+    status_line, _, header_block = head[:-4].partition(b"\r\n")
+    parts = status_line.split(b" ", 2)
+    if len(parts) < 2 or not parts[0].startswith(b"HTTP/"):
+        raise ProtocolError(f"malformed status line {status_line[:80]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise ProtocolError(f"malformed status code {parts[1][:20]!r}") from None
+    reason = parts[2].decode("latin-1") if len(parts) == 3 else ""
+    headers = _parse_headers(header_block)
+    length = _content_length(headers, max_body)
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError("connection closed mid-body") from None
+    return HTTPResponse(status=status, reason=reason, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: tuple[tuple[str, str], ...] = (),
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one response, Content-Length framed (no chunking)."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines += [f"{name}: {value}" for name, value in extra_headers]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body

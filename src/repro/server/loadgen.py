@@ -1,0 +1,269 @@
+"""Open-loop socket-level load generation against the HTTP front door.
+
+A closed-loop client (issue, wait, issue) can never observe saturation:
+its own waiting throttles the offered load to whatever the server
+sustains.  This generator is **open-loop**: request ``i`` of a run at
+``rate`` requests/second is *scheduled* at ``t0 + i/rate`` and fired at
+its scheduled time whether or not earlier requests have completed — so
+offered load is held constant and queueing delay shows up where it
+belongs, in the measured latency.  Latency is accordingly measured from
+the request's **scheduled arrival**, not from when the socket write
+happened: at saturation the gap between the two *is* the queueing the
+operator's users would feel.
+
+Requests replay a :class:`~repro.workloads.generator.WorkloadTrace`'s
+query stream (:func:`requests_from_trace`), so the offered key skew is
+the generator's Zipf shape and results are comparable across runs from
+the trace signature.  Connections come from a keep-alive pool that
+grows on demand — concurrency adapts to whatever the open-loop schedule
+requires.
+
+The report (:class:`LoadReport`) carries the serving-SLO surface:
+p50/p95/p99 latency, achieved QPS, shed rate (503s from admission
+control), deadline expiries (504s), and error counts.  With
+``collect_bodies=True`` every response body is kept in request order —
+the bit-exactness harness diffs them byte-for-byte against an oracle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ProtocolError, ServerError
+from repro.server.http import read_response
+from repro.workloads.generator import WorkloadTrace
+
+__all__ = ["LoadReport", "requests_from_trace", "run_load"]
+
+
+def _render_request(host: str, path: str, body: bytes) -> bytes:
+    head = (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: keep-alive\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def requests_from_trace(
+    trace: WorkloadTrace,
+    kind: str = "single_source",
+    k: int | None = None,
+    method: str | None = None,
+    limit: int | None = None,
+) -> list[tuple[str, bytes]]:
+    """``(path, body)`` pairs replaying a trace's query stream in op order.
+
+    ``kind`` picks the endpoint (``"single_source"`` or ``"topk"``);
+    update batches in the trace are ignored (the load generator offers
+    read traffic — updates go through the service owner).
+    """
+    if kind not in ("single_source", "topk"):
+        raise ConfigurationError(
+            f"kind must be 'single_source' or 'topk', got {kind!r}"
+        )
+    path = f"/{kind}"
+    requests = []
+    for query in trace.query_nodes():
+        payload: dict[str, object] = {"query": int(query)}
+        if method is not None:
+            payload["method"] = method
+        if kind == "topk" and k is not None:
+            payload["k"] = int(k)
+        if kind == "single_source" and limit is not None:
+            payload["limit"] = int(limit)
+        requests.append((path, json.dumps(payload, sort_keys=True).encode()))
+    return requests
+
+
+@dataclass
+class LoadReport:
+    """Everything one open-loop run measured."""
+
+    offered_rate: float
+    num_requests: int
+    completed: int = 0
+    errors: int = 0
+    status_counts: dict[int, int] = field(default_factory=dict)
+    #: seconds from *scheduled arrival* to full response, per completed
+    #: request (queueing included — the open-loop latency definition).
+    latencies: list[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    connections: int = 0
+    #: response bodies in request order (``collect_bodies=True`` runs only);
+    #: ``None`` entries mark failed requests.
+    bodies: list[bytes | None] | None = None
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile in seconds (0 with no completed requests)."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    @property
+    def achieved_qps(self) -> float:
+        """Completed 200s per second of wall clock."""
+        ok = self.status_counts.get(200, 0)
+        return ok / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of requests answered 503 (admission shed)."""
+        shed = self.status_counts.get(503, 0)
+        return shed / self.num_requests if self.num_requests else 0.0
+
+    @property
+    def timeout_count(self) -> int:
+        """Requests answered 504 (deadline expiry)."""
+        return self.status_counts.get(504, 0)
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict row for table rendering (latencies in ms)."""
+        return {
+            "rate": self.offered_rate,
+            "requests": self.num_requests,
+            "qps": self.achieved_qps,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p95_ms": self.percentile(95) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+            "shed_rate": self.shed_rate,
+            "timeouts": self.timeout_count,
+            "errors": self.errors,
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready dict (bodies excluded — they are a test artifact)."""
+        return {
+            "offered_rate": self.offered_rate,
+            "num_requests": self.num_requests,
+            "completed": self.completed,
+            "errors": self.errors,
+            "status_counts": {str(k): v for k, v in sorted(self.status_counts.items())},
+            "wall_seconds": self.wall_seconds,
+            "achieved_qps": self.achieved_qps,
+            "shed_rate": self.shed_rate,
+            "timeouts": self.timeout_count,
+            "connections": self.connections,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p95_ms": self.percentile(95) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+        }
+
+
+class _ConnectionPool:
+    """Keep-alive connections to one host:port, growing on demand."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._free: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self.opened = 0
+
+    async def acquire(self):
+        while self._free:
+            reader, writer = self._free.pop()
+            if not writer.is_closing():
+                return reader, writer
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        self.opened += 1
+        return reader, writer
+
+    def release(self, reader, writer) -> None:
+        if not writer.is_closing():
+            self._free.append((reader, writer))
+
+    async def close(self) -> None:
+        for _, writer in self._free:
+            writer.close()
+        for _, writer in self._free:
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        self._free.clear()
+
+
+async def run_load(
+    host: str,
+    port: int,
+    requests: Sequence[tuple[str, bytes]],
+    rate: float,
+    timeout: float = 30.0,
+    collect_bodies: bool = False,
+) -> LoadReport:
+    """Fire ``requests`` open-loop at ``rate``/s and measure the responses.
+
+    Parameters
+    ----------
+    host / port:
+        The running front door.
+    requests:
+        ``(path, body)`` pairs (see :func:`requests_from_trace`).
+    rate:
+        Offered arrival rate, requests/second; request ``i`` is scheduled
+        at ``t0 + i/rate`` regardless of earlier completions.
+    timeout:
+        Per-request socket budget; expiry counts as an error (distinct
+        from a served 504).
+    collect_bodies:
+        Keep every response body in request order for bitwise comparison.
+    """
+    if rate <= 0:
+        raise ConfigurationError(f"rate must be positive, got {rate!r}")
+    if not requests:
+        raise ConfigurationError("no requests to send")
+    report = LoadReport(offered_rate=rate, num_requests=len(requests))
+    bodies: list[bytes | None] = [None] * len(requests)
+    pool = _ConnectionPool(host, port)
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+
+    async def fire(index: int, scheduled: float) -> None:
+        delay = scheduled - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        path, body = requests[index]
+        try:
+            reader, writer = await pool.acquire()
+            try:
+                writer.write(_render_request(pool.host, path, body))
+                await writer.drain()
+                response = await asyncio.wait_for(
+                    read_response(reader), timeout=timeout
+                )
+                if response is None:
+                    raise ProtocolError("server closed the connection")
+            except BaseException:
+                writer.close()
+                raise
+            pool.release(reader, writer)
+        except (OSError, ServerError, asyncio.TimeoutError, TimeoutError):
+            report.errors += 1
+            return
+        report.completed += 1
+        report.status_counts[response.status] = (
+            report.status_counts.get(response.status, 0) + 1
+        )
+        # open-loop latency: measured from the scheduled arrival, so time
+        # spent queueing behind a saturated server counts against it
+        report.latencies.append(loop.time() - scheduled)
+        bodies[index] = response.body
+
+    tasks = [
+        asyncio.create_task(fire(i, started + i / rate))
+        for i in range(len(requests))
+    ]
+    await asyncio.gather(*tasks)
+    report.wall_seconds = loop.time() - started
+    report.connections = pool.opened
+    await pool.close()
+    if collect_bodies:
+        report.bodies = bodies
+    return report

@@ -93,6 +93,7 @@ import numpy as np
 from repro.api.registry import get_entry
 from repro.api.service import SimRankService
 from repro.errors import EvaluationError
+from repro.eval.metrics_export import flatten_metrics
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.dynamic import touched_neighborhood
@@ -185,6 +186,31 @@ class MethodReport:
             row["cache_hit"] = self.cache.get("hit_rate", 0.0)
         return row
 
+    def metrics(self) -> dict[str, float]:
+        """Flat Prometheus-style counters for this replay.
+
+        Shares naming with the HTTP tier's ``/metrics`` endpoint (both run
+        through :mod:`repro.eval.metrics_export`), so offline reports and
+        live scrapes are comparable metric-for-metric.
+        """
+        return flatten_metrics(
+            {
+                "queries": self.num_queries,
+                "updates": self.num_updates,
+                "qps": self.qps,
+                "p50_ms": self.latency.percentile(50) * 1e3,
+                "p95_ms": self.latency.percentile(95) * 1e3,
+                "p99_ms": self.latency.percentile(99) * 1e3,
+                "maintenance_s": self.maintenance_seconds,
+                "syncs": self.syncs,
+                "delta_syncs": self.delta_syncs,
+                "epochs": self.epochs,
+                "worker_restarts": self.worker_restarts,
+                "staleness_mean": self.staleness_mean,
+            },
+            cache=self.cache,
+        )
+
     def to_dict(self) -> dict[str, object]:
         """JSON-ready dict (full latency histogram included)."""
         return {
@@ -207,6 +233,7 @@ class MethodReport:
             "incremental_notifications": self.incremental_notifications,
             "worker_restarts": self.worker_restarts,
             "cache": dict(self.cache),
+            "metrics": self.metrics(),
             "staleness_mean": self.staleness_mean,
             "staleness_max": self.staleness_max,
             "digest": self.digest,
@@ -426,7 +453,7 @@ def _replay_process(
         executor=executor,
     )
     report.maintenance = service.maintenance
-    try:
+    with service:  # guarantees worker/shared-memory teardown
         wall_started = time.perf_counter()
         for batch in trace:
             if batch.kind == "update":
@@ -465,8 +492,6 @@ def _replay_process(
         report.worker_restarts = service.stats.worker_restarts
         if service.cache.enabled:
             report.cache = service.cache.snapshot()
-    finally:
-        service.close()
     report.digest = digest.hexdigest()
     return report
 

@@ -346,3 +346,18 @@ class TestConcurrentMaintenanceStats:
         )
         assert service.stats.syncs == 0  # the only mount is incremental
         assert not service._stale
+
+
+class TestContextManager:
+    def test_with_block_closes_and_returns_service(self, toy):
+        with SimRankService(toy, methods=("probesim",),
+                            configs={"probesim": {"eps_a": 0.2, "seed": 7}}) as service:
+            assert service.single_source(0).score(0) == 1.0
+        service.close()  # idempotent after __exit__
+
+    def test_close_is_a_noop_for_in_process_service(self, toy):
+        service = SimRankService(toy, methods=("probesim",),
+                                 configs={"probesim": {"eps_a": 0.2, "seed": 7}})
+        service.close()
+        # the in-process service holds no pool: still queryable after close()
+        assert service.single_source(0).score(0) == 1.0

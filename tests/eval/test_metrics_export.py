@@ -1,0 +1,105 @@
+"""metrics_export: one Prometheus formatter for /metrics and JSON reports."""
+
+import pytest
+
+from repro.api.service import ServiceStats
+from repro.errors import EvaluationError
+from repro.eval.metrics_export import (
+    flatten_metrics,
+    render_prometheus,
+    sanitize_metric_name,
+    service_metrics,
+)
+
+
+class TestSanitize:
+    def test_valid_name_unchanged(self):
+        assert sanitize_metric_name("cache_hit_rate") == "cache_hit_rate"
+
+    def test_invalid_chars_become_underscores(self):
+        assert sanitize_metric_name("p95 (ms)") == "p95__ms_"
+
+    def test_leading_digit_gets_prefix(self):
+        assert sanitize_metric_name("95th") == "_95th"
+
+    def test_unsalvageable_name_raises(self):
+        with pytest.raises(EvaluationError):
+            sanitize_metric_name("")
+
+
+class TestFlatten:
+    def test_merges_groups_and_prefixes_kwargs(self):
+        flat = flatten_metrics(
+            {"queries": 3}, {"qps": 1.5}, cache={"hits": 2, "hit_rate": 0.5}
+        )
+        assert flat == {
+            "queries": 3.0, "qps": 1.5, "cache_hits": 2.0, "cache_hit_rate": 0.5,
+        }
+
+    def test_none_groups_are_skipped(self):
+        assert flatten_metrics(None, {"a": 1}, cache=None) == {"a": 1.0}
+
+    def test_non_numeric_value_raises(self):
+        with pytest.raises(EvaluationError, match="numeric"):
+            flatten_metrics({"method": "probesim"})
+
+    def test_bool_is_rejected_not_coerced(self):
+        with pytest.raises(EvaluationError, match="numeric"):
+            flatten_metrics({"enabled": True})
+
+    def test_non_finite_value_raises(self):
+        with pytest.raises(EvaluationError, match="finite"):
+            flatten_metrics({"qps": float("inf")})
+
+
+class TestServiceMetrics:
+    def test_flattens_stats_cache_and_extra(self):
+        stats = ServiceStats(queries=7, batches=2, updates_applied=1)
+        flat = service_metrics(
+            stats,
+            cache={"hits": 4, "misses": 3, "hit_rate": 4 / 7, "size": 5,
+                   "evictions": 0, "invalidations": 0},
+            extra={"http_requests": 9},
+        )
+        assert flat["queries"] == 7.0
+        assert flat["updates"] == 1.0
+        assert flat["cache_hits"] == 4.0
+        assert flat["cache_hit_rate"] == pytest.approx(4 / 7)
+        assert flat["http_requests"] == 9.0
+
+    def test_every_stats_counter_is_numeric(self):
+        # as_row() must stay exposition-safe: no strings allowed to creep in
+        service_metrics(ServiceStats())
+
+
+class TestRenderPrometheus:
+    def test_exposition_shape(self):
+        text = render_prometheus({"queries": 3, "qps": 2.5}, namespace="repro")
+        lines = text.splitlines()
+        assert "# HELP repro_qps qps (repro serving counter)" in lines
+        assert "# TYPE repro_qps gauge" in lines
+        assert "repro_qps 2.5" in lines
+        assert "repro_queries 3" in lines  # integral floats render as ints
+        assert text.endswith("\n")
+
+    def test_output_is_sorted_and_deterministic(self):
+        metrics = {"b": 1, "a": 2, "c": 3}
+        text = render_prometheus(metrics)
+        samples = [line for line in text.splitlines() if not line.startswith("#")]
+        assert samples == ["repro_a 2", "repro_b 1", "repro_c 3"]
+        assert text == render_prometheus(dict(reversed(list(metrics.items()))))
+
+    def test_custom_help_and_namespace(self):
+        text = render_prometheus(
+            {"shed": 1}, namespace="sim", help_texts={"shed": "requests shed"}
+        )
+        assert "# HELP sim_shed requests shed" in text
+
+    def test_empty_metrics_render_empty(self):
+        assert render_prometheus({}) == ""
+
+    def test_float_values_round_trip(self):
+        value = 0.123456789012345678
+        text = render_prometheus({"x": value}, namespace="")
+        sample = [ln for ln in text.splitlines() if ln.startswith("x ")][0]
+        assert float(sample.split()[1]) == value

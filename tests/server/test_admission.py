@@ -1,0 +1,144 @@
+"""Unit tests for bounded-lane admission control and request deadlines."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import AdmissionError, ConfigurationError
+from repro.server.admission import LANES, AdmissionController, Deadline
+
+
+class TestDeadline:
+    def test_none_means_no_deadline(self):
+        deadline = Deadline(None)
+        assert deadline.remaining() is None
+        assert not deadline.expired
+
+    def test_remaining_counts_down_and_clamps_at_zero(self):
+        deadline = Deadline(0.01)
+        first = deadline.remaining()
+        assert 0.0 < first <= 0.01
+        time.sleep(0.02)
+        assert deadline.remaining() == 0.0
+        assert deadline.expired
+
+    @pytest.mark.parametrize("seconds", [0, -1.5])
+    def test_non_positive_budget_is_rejected(self, seconds):
+        with pytest.raises(ConfigurationError, match="deadline"):
+            Deadline(seconds)
+
+
+class TestAdmissionControllerConfig:
+    def test_default_capacity_on_every_lane(self):
+        controller = AdmissionController()
+        assert set(controller.lanes) == set(LANES)
+        assert all(
+            lane.capacity == AdmissionController.DEFAULT_CAPACITY
+            for lane in controller.lanes.values()
+        )
+
+    def test_int_capacity_applies_to_all_lanes(self):
+        controller = AdmissionController(3)
+        assert all(lane.capacity == 3 for lane in controller.lanes.values())
+
+    def test_dict_capacity_with_default_fallback(self):
+        controller = AdmissionController({"update": 1, "topk": 5})
+        assert controller.lanes["update"].capacity == 1
+        assert controller.lanes["topk"].capacity == 5
+        assert (
+            controller.lanes["batch"].capacity
+            == AdmissionController.DEFAULT_CAPACITY
+        )
+
+    def test_unknown_lane_in_dict_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown admission lanes"):
+            AdmissionController({"nope": 4})
+
+    @pytest.mark.parametrize("capacity", [0, -2, {"topk": 0}])
+    def test_non_positive_capacity_is_rejected(self, capacity):
+        with pytest.raises(ConfigurationError, match="positive"):
+            AdmissionController(capacity)
+
+    def test_non_positive_retry_after_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="retry_after"):
+            AdmissionController(retry_after=0)
+
+
+class TestAdmit:
+    def test_admit_tracks_in_flight_and_peak(self):
+        controller = AdmissionController(2)
+        lane = controller.lanes["topk"]
+        with controller.admit("topk"):
+            assert lane.in_flight == 1
+            with controller.admit("topk"):
+                assert lane.in_flight == 2
+        assert lane.in_flight == 0
+        assert lane.peak_in_flight == 2
+        assert lane.admitted == 2
+        assert lane.shed == 0
+
+    def test_full_lane_sheds_synchronously(self):
+        controller = AdmissionController(1, retry_after=2.5)
+        with controller.admit("single_source"):
+            with pytest.raises(AdmissionError) as exc_info:
+                with controller.admit("single_source"):
+                    pass
+        error = exc_info.value
+        assert error.lane == "single_source"
+        assert error.capacity == 1
+        assert error.retry_after == 2.5
+        assert "retry after 2.5s" in str(error)
+        assert controller.lanes["single_source"].shed == 1
+        # the shed never occupied the lane
+        assert controller.lanes["single_source"].in_flight == 0
+
+    def test_lanes_are_independent(self):
+        controller = AdmissionController({"update": 1})
+        with controller.admit("update"):
+            # reads keep flowing while the update lane is full
+            with controller.admit("single_source"):
+                pass
+            with pytest.raises(AdmissionError):
+                with controller.admit("update"):
+                    pass
+
+    def test_slot_released_when_the_request_raises(self):
+        controller = AdmissionController(1)
+        with pytest.raises(RuntimeError):
+            with controller.admit("batch"):
+                raise RuntimeError("handler blew up")
+        assert controller.lanes["batch"].in_flight == 0
+
+    def test_unknown_lane_is_rejected(self):
+        controller = AdmissionController()
+        with pytest.raises(ConfigurationError, match="unknown admission lane"):
+            with controller.admit("nope"):
+                pass
+
+    def test_record_timeout(self):
+        controller = AdmissionController()
+        controller.record_timeout("topk")
+        assert controller.lanes["topk"].timeouts == 1
+
+
+class TestMetrics:
+    def test_flat_counters_for_every_lane(self):
+        controller = AdmissionController(1)
+        with controller.admit("topk"):
+            pass
+        with controller.admit("topk"):
+            with pytest.raises(AdmissionError):
+                with controller.admit("topk"):
+                    pass
+        controller.record_timeout("topk")
+        metrics = controller.metrics()
+        assert metrics["admission_topk_capacity"] == 1
+        assert metrics["admission_topk_admitted"] == 2
+        assert metrics["admission_topk_shed"] == 1
+        assert metrics["admission_topk_timeouts"] == 1
+        assert metrics["admission_topk_peak_in_flight"] == 1
+        assert metrics["admission_topk_in_flight"] == 0
+        for lane in LANES:
+            assert f"admission_{lane}_admitted" in metrics

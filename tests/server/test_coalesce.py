@@ -1,0 +1,229 @@
+"""Unit tests for the micro-batching coalescer (pure asyncio, no sockets)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server.coalesce import Coalescer
+
+
+class Recorder:
+    """A dispatch target that records batches and answers ``query * 10``."""
+
+    def __init__(self, delay: float = 0.0, fail: Exception | None = None,
+                 short: bool = False):
+        self.batches: list[tuple[object, tuple[int, ...]]] = []
+        self.delay = delay
+        self.fail = fail
+        self.short = short
+
+    async def __call__(self, key, queries):
+        self.batches.append((key, tuple(queries)))
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        if self.fail is not None:
+            raise self.fail
+        results = [query * 10 for query in queries]
+        return results[:-1] if self.short else results
+
+
+class TestCoalescing:
+    def test_single_submit_dispatches_after_window(self):
+        async def main():
+            recorder = Recorder()
+            coalescer = Coalescer(recorder, window=0.001)
+            result = await coalescer.submit("key", 7)
+            assert result == 70
+            assert recorder.batches == [("key", (7,))]
+            assert coalescer.dispatch_log == [("key", (7,))]
+            assert coalescer.stats.requests == 1
+            assert coalescer.stats.batches == 1
+
+        asyncio.run(main())
+
+    def test_concurrent_submits_share_one_batch(self):
+        async def main():
+            recorder = Recorder()
+            coalescer = Coalescer(recorder, window=0.02)
+            results = await asyncio.gather(
+                coalescer.submit("key", 1),
+                coalescer.submit("key", 2),
+                coalescer.submit("key", 3),
+            )
+            assert results == [10, 20, 30]
+            assert recorder.batches == [("key", (1, 2, 3))]
+            assert coalescer.stats.max_batch == 3
+
+        asyncio.run(main())
+
+    def test_duplicate_queries_share_one_slot(self):
+        async def main():
+            recorder = Recorder()
+            coalescer = Coalescer(recorder, window=0.02)
+            results = await asyncio.gather(
+                coalescer.submit("key", 5),
+                coalescer.submit("key", 5),
+                coalescer.submit("key", 6),
+            )
+            assert results == [50, 50, 60]
+            # the duplicate never cost a batch slot
+            assert recorder.batches == [("key", (5, 6))]
+            assert coalescer.stats.dedup_saved == 1
+            assert coalescer.stats.batched_queries == 3
+
+        asyncio.run(main())
+
+    def test_distinct_keys_never_share_a_batch(self):
+        async def main():
+            recorder = Recorder()
+            coalescer = Coalescer(recorder, window=0.02)
+            await asyncio.gather(
+                coalescer.submit(("topk", None, 5), 1),
+                coalescer.submit(("topk", None, 10), 1),
+            )
+            assert sorted(key for key, _ in recorder.batches) == [
+                ("topk", None, 5), ("topk", None, 10),
+            ]
+
+        asyncio.run(main())
+
+    def test_backpressure_grows_the_next_batch(self):
+        async def main():
+            recorder = Recorder(delay=0.1)
+            coalescer = Coalescer(recorder, window=0.005)
+            first = asyncio.ensure_future(coalescer.submit("key", 1))
+            await asyncio.sleep(0.03)  # batch (1,) is now dispatching
+            late = [
+                asyncio.ensure_future(coalescer.submit("key", q))
+                for q in (2, 3, 4)
+            ]
+            # their window closes while the dispatch is still running, so
+            # they coalesce into ONE follow-up batch instead of three
+            assert await first == 10
+            assert await asyncio.gather(*late) == [20, 30, 40]
+            assert recorder.batches == [("key", (1,)), ("key", (2, 3, 4))]
+
+        asyncio.run(main())
+
+    def test_at_most_one_dispatch_in_flight_per_key(self):
+        async def main():
+            recorder = Recorder(delay=0.05)
+            coalescer = Coalescer(recorder, window=0.0)
+            waiters = []
+            for query in range(4):
+                waiters.append(
+                    asyncio.ensure_future(coalescer.submit("key", query))
+                )
+                await asyncio.sleep(0.01)
+            assert await asyncio.gather(*waiters) == [0, 10, 20, 30]
+            # batches serialized: the 0.01s-spaced arrivals during each
+            # 0.05s dispatch merged instead of overlapping it
+            assert len(recorder.batches) < 4
+            flat = [q for _, qs in recorder.batches for q in qs]
+            assert flat == [0, 1, 2, 3]
+
+        asyncio.run(main())
+
+    def test_full_bucket_flushes_before_the_window(self):
+        async def main():
+            recorder = Recorder()
+            # window far longer than the test: only the max_batch early
+            # flush can complete these awaits in time
+            coalescer = Coalescer(recorder, window=30.0, max_batch=2)
+            results = await asyncio.wait_for(
+                asyncio.gather(
+                    coalescer.submit("key", 1), coalescer.submit("key", 2)
+                ),
+                timeout=5.0,
+            )
+            assert results == [10, 20]
+            assert recorder.batches == [("key", (1, 2))]
+
+        asyncio.run(main())
+
+
+class TestCancellation:
+    def test_cancelled_waiter_is_dropped_from_the_batch(self):
+        async def main():
+            recorder = Recorder()
+            coalescer = Coalescer(recorder, window=0.05)
+            doomed = asyncio.ensure_future(coalescer.submit("key", 1))
+            survivor = asyncio.ensure_future(coalescer.submit("key", 2))
+            await asyncio.sleep(0)  # let both join the bucket
+            doomed.cancel()
+            assert await survivor == 20
+            # the cancelled query never reached the service...
+            assert recorder.batches == [("key", (2,))]
+            assert coalescer.stats.dropped_cancelled == 1
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+
+        asyncio.run(main())
+
+    def test_fully_cancelled_bucket_never_dispatches(self):
+        async def main():
+            recorder = Recorder()
+            coalescer = Coalescer(recorder, window=0.01)
+            waiter = asyncio.ensure_future(coalescer.submit("key", 1))
+            await asyncio.sleep(0)
+            waiter.cancel()
+            await asyncio.sleep(0.05)
+            assert recorder.batches == []
+            assert coalescer.stats.batches == 0
+
+        asyncio.run(main())
+
+
+class TestFailures:
+    def test_dispatch_exception_reaches_every_waiter(self):
+        async def main():
+            recorder = Recorder(fail=ValueError("engine exploded"))
+            coalescer = Coalescer(recorder, window=0.01)
+            results = await asyncio.gather(
+                coalescer.submit("key", 1),
+                coalescer.submit("key", 2),
+                return_exceptions=True,
+            )
+            assert all(isinstance(r, ValueError) for r in results)
+
+        asyncio.run(main())
+
+    def test_result_count_mismatch_is_surfaced(self):
+        async def main():
+            recorder = Recorder(short=True)
+            coalescer = Coalescer(recorder, window=0.01)
+            results = await asyncio.gather(
+                coalescer.submit("key", 1),
+                coalescer.submit("key", 2),
+                return_exceptions=True,
+            )
+            assert all(isinstance(r, ConfigurationError) for r in results)
+            assert "2 queries" in str(results[0])
+
+        asyncio.run(main())
+
+
+class TestFlush:
+    def test_flush_drains_parked_buckets(self):
+        async def main():
+            recorder = Recorder()
+            coalescer = Coalescer(recorder, window=30.0)
+            waiter = asyncio.ensure_future(coalescer.submit("key", 4))
+            await asyncio.sleep(0)
+            await coalescer.flush()  # shutdown path: no timer wait
+            assert await asyncio.wait_for(waiter, timeout=5.0) == 40
+
+        asyncio.run(main())
+
+
+class TestValidation:
+    def test_negative_window_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="window"):
+            Coalescer(Recorder(), window=-0.1)
+
+    def test_non_positive_max_batch_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_batch"):
+            Coalescer(Recorder(), max_batch=0)

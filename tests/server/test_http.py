@@ -1,0 +1,158 @@
+"""Unit tests for the minimal HTTP/1.1 wire layer (no sockets needed:
+a StreamReader is fed the raw bytes directly)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.server.http import (
+    MAX_HEADER_BYTES,
+    HTTPRequest,
+    read_request,
+    read_response,
+    render_response,
+)
+
+
+def _feed(data: bytes, eof: bool = True) -> "asyncio.StreamReader":
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+def _parse(data: bytes, **kwargs):
+    async def main():
+        return await read_request(_feed(data), **kwargs)
+
+    return asyncio.run(main())
+
+
+def _parse_error(data: bytes, **kwargs) -> str:
+    with pytest.raises(ProtocolError) as exc_info:
+        _parse(data, **kwargs)
+    return str(exc_info.value)
+
+
+class TestReadRequest:
+    def test_post_with_body(self):
+        body = b'{"query": 3}'
+        raw = (
+            b"POST /single_source HTTP/1.1\r\n"
+            b"Host: x\r\nContent-Type: application/json\r\n"
+            b"Content-Length: %d\r\n\r\n" % len(body)
+        ) + body
+        request = _parse(raw)
+        assert request.method == "POST"
+        assert request.path == "/single_source"
+        assert request.version == "HTTP/1.1"
+        assert request.body == body
+        assert request.json() == {"query": 3}
+
+    def test_headers_are_lower_cased_and_stripped(self):
+        request = _parse(b"GET /healthz HTTP/1.1\r\nX-Thing:  padded \r\n\r\n")
+        assert request.headers["x-thing"] == "padded"
+
+    def test_clean_eof_between_requests_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_truncated_head_is_a_protocol_error(self):
+        assert "mid-request" in _parse_error(b"POST /x HTTP/1.1\r\nHost")
+
+    def test_truncated_body_is_a_protocol_error(self):
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"
+        assert "mid-body" in _parse_error(raw)
+
+    def test_malformed_request_line(self):
+        assert "request line" in _parse_error(b"POST /x\r\n\r\n")
+
+    def test_unsupported_version(self):
+        assert "version" in _parse_error(b"GET /x HTTP/2\r\n\r\n")
+
+    def test_malformed_header_line(self):
+        assert "header line" in _parse_error(b"GET /x HTTP/1.1\r\nnocolon\r\n\r\n")
+
+    def test_header_block_cap(self):
+        filler = b"X-Pad: " + b"a" * MAX_HEADER_BYTES + b"\r\n"
+        message = _parse_error(b"GET /x HTTP/1.1\r\n" + filler + b"\r\n")
+        assert "header block exceeds" in message
+
+    def test_body_cap_mentions_exceeds_cap(self):
+        # the app keys its 413 mapping off this message
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"b" * 100
+        assert "exceeds cap" in _parse_error(raw, max_body=10)
+
+    def test_invalid_content_length(self):
+        assert "Content-Length" in _parse_error(
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"
+        )
+        assert "Content-Length" in _parse_error(
+            b"POST /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n"
+        )
+
+    def test_chunked_transfer_is_rejected(self):
+        raw = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        assert "chunked" in _parse_error(raw)
+
+
+class TestKeepAlive:
+    def test_http11_defaults_to_keep_alive(self):
+        assert HTTPRequest("GET", "/", "HTTP/1.1").keep_alive
+
+    def test_http11_connection_close_opts_out(self):
+        request = HTTPRequest("GET", "/", "HTTP/1.1", {"connection": "Close"})
+        assert not request.keep_alive
+
+    def test_http10_defaults_to_close(self):
+        assert not HTTPRequest("GET", "/", "HTTP/1.0").keep_alive
+
+    def test_http10_can_opt_in(self):
+        request = HTTPRequest("GET", "/", "HTTP/1.0", {"connection": "keep-alive"})
+        assert request.keep_alive
+
+
+class TestRequestJson:
+    def test_empty_body_decodes_to_empty_object(self):
+        assert HTTPRequest("POST", "/", "HTTP/1.1").json() == {}
+
+    def test_invalid_json_raises_protocol_error(self):
+        request = HTTPRequest("POST", "/", "HTTP/1.1", body=b"{nope")
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            request.json()
+
+
+class TestRenderAndReadResponse:
+    def _roundtrip(self, payload: bytes):
+        async def main():
+            return await read_response(_feed(payload))
+
+        return asyncio.run(main())
+
+    def test_roundtrip(self):
+        payload = render_response(
+            200, b'{"ok":true}', extra_headers=(("Retry-After", "1"),)
+        )
+        response = self._roundtrip(payload)
+        assert response.status == 200
+        assert response.reason == "OK"
+        assert response.headers["retry-after"] == "1"
+        assert response.headers["content-type"] == "application/json"
+        assert response.body == b'{"ok":true}'
+
+    def test_connection_header_tracks_keep_alive(self):
+        assert b"Connection: keep-alive" in render_response(200, b"")
+        assert b"Connection: close" in render_response(200, b"", keep_alive=False)
+
+    def test_unknown_status_gets_unknown_reason(self):
+        assert b"HTTP/1.1 599 Unknown" in render_response(599, b"")
+
+    def test_clean_eof_returns_none(self):
+        assert self._roundtrip(b"") is None
+
+    def test_malformed_status_line(self):
+        with pytest.raises(ProtocolError, match="status"):
+            self._roundtrip(b"NOPE\r\n\r\n")

@@ -1,0 +1,151 @@
+"""Tests for the open-loop load generator (trace replay + measurement)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server import (
+    LoadReport,
+    requests_from_trace,
+    run_load,
+    serialize_result,
+)
+from repro.workloads.generator import generate_workload
+
+
+class TestRequestsFromTrace:
+    def test_single_source_requests_replay_the_query_stream(self, tiny_wiki):
+        trace = generate_workload(
+            tiny_wiki, num_ops=20, read_fraction=1.0, seed=5
+        )
+        requests = requests_from_trace(trace, limit=5, method="probesim")
+        assert len(requests) == len(trace.query_nodes())
+        for (path, body), query in zip(requests, trace.query_nodes()):
+            assert path == "/single_source"
+            assert json.loads(body) == {
+                "query": int(query), "limit": 5, "method": "probesim",
+            }
+
+    def test_topk_requests_carry_k(self, tiny_wiki):
+        trace = generate_workload(
+            tiny_wiki, num_ops=10, read_fraction=1.0, seed=5
+        )
+        requests = requests_from_trace(trace, kind="topk", k=7)
+        path, body = requests[0]
+        assert path == "/topk"
+        assert json.loads(body)["k"] == 7
+
+    def test_unknown_kind_is_rejected(self, tiny_wiki):
+        trace = generate_workload(
+            tiny_wiki, num_ops=5, read_fraction=1.0, seed=5
+        )
+        with pytest.raises(ConfigurationError, match="kind"):
+            requests_from_trace(trace, kind="nope")
+
+
+class TestLoadReport:
+    def test_empty_report_percentiles_are_zero(self):
+        report = LoadReport(offered_rate=10.0, num_requests=0)
+        assert report.percentile(99) == 0.0
+        assert report.achieved_qps == 0.0
+        assert report.shed_rate == 0.0
+
+    def test_derived_rates(self):
+        report = LoadReport(
+            offered_rate=10.0, num_requests=10, completed=10,
+            status_counts={200: 6, 503: 3, 504: 1},
+            wall_seconds=2.0,
+        )
+        assert report.achieved_qps == 3.0  # only 200s count
+        assert report.shed_rate == 0.3
+        assert report.timeout_count == 1
+
+    def test_row_and_dict_surfaces(self):
+        report = LoadReport(
+            offered_rate=10.0, num_requests=2, completed=2,
+            status_counts={200: 2}, latencies=[0.01, 0.03],
+            wall_seconds=1.0, connections=2,
+        )
+        row = report.as_row()
+        assert set(row) == {
+            "rate", "requests", "qps", "p50_ms", "p95_ms", "p99_ms",
+            "shed_rate", "timeouts", "errors",
+        }
+        assert row["p50_ms"] == pytest.approx(20.0)
+        payload = report.to_dict()
+        assert payload["status_counts"] == {"200": 2}
+        assert payload["achieved_qps"] == 2.0
+
+
+class TestRunLoad:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="rate"):
+            asyncio.run(run_load("h", 1, [("/x", b"")], rate=0))
+        with pytest.raises(ConfigurationError, match="no requests"):
+            asyncio.run(run_load("h", 1, [], rate=10))
+
+    def test_replay_measures_and_collects_bodies(self, harness, tiny_wiki):
+        service = harness.StubService()
+        trace = generate_workload(
+            tiny_wiki, num_ops=20, read_fraction=1.0, seed=9
+        )
+        requests = requests_from_trace(trace, limit=4)
+
+        async def scenario(app):
+            return await run_load(
+                "127.0.0.1", app.port, requests, rate=500.0,
+                collect_bodies=True,
+            )
+
+        report = harness.serve(service, scenario)
+        assert report.num_requests == len(requests)
+        assert report.completed == len(requests)
+        assert report.errors == 0
+        assert report.status_counts == {200: len(requests)}
+        assert report.wall_seconds > 0
+        assert report.achieved_qps > 0
+        assert report.connections >= 1
+        assert len(report.latencies) == len(requests)
+        # bodies arrive in request order and match the stub's answers
+        for (path, _), body, query in zip(
+            requests, report.bodies, trace.query_nodes()
+        ):
+            assert body == serialize_result(harness.FakeResult(int(query)), 4)
+
+    def test_sheds_are_measured_not_errors(self, harness):
+        # one slow lane slot: the first request occupies it for 300ms while
+        # the open-loop schedule fires the rest within ~40ms — they shed
+        service = harness.StubService(delay=0.3)
+        requests = [("/single_source", b'{"query": 1}')] * 5
+
+        async def scenario(app):
+            return await run_load("127.0.0.1", app.port, requests, rate=100.0)
+
+        report = harness.serve(
+            service, scenario, coalesce=False, admission_capacity=1
+        )
+        assert report.errors == 0
+        assert report.status_counts.get(200) == 1
+        assert report.status_counts.get(503) == 4
+        assert report.shed_rate == pytest.approx(0.8)
+
+    def test_connection_refused_counts_as_error(self):
+        async def main():
+            # a port nothing listens on: bind-and-close to find a free one
+            server = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            server.close()
+            await server.wait_closed()
+            return await run_load(
+                "127.0.0.1", port, [("/x", b"{}")], rate=100.0, timeout=2.0
+            )
+
+        report = asyncio.run(main())
+        assert report.errors == 1
+        assert report.completed == 0

@@ -51,8 +51,8 @@ class TestArchitectureDoc:
     def test_architecture_names_every_package(self):
         text = (REPO / "ARCHITECTURE.md").read_text(encoding="utf-8")
         for package in ("graph/", "core/", "baselines/", "extensions/",
-                        "api/", "parallel/", "workloads/", "eval/",
-                        "datasets/", "utils/"):
+                        "api/", "parallel/", "server/", "workloads/",
+                        "eval/", "datasets/", "utils/"):
             assert package in text, f"ARCHITECTURE.md does not map {package}"
 
     def test_architecture_documents_both_data_flows(self):
@@ -64,6 +64,11 @@ class TestArchitectureDoc:
         text = (REPO / "ARCHITECTURE.md").read_text(encoding="utf-8")
         assert "parallel serving data flow" in text
         assert "SharedCSRGraph" in text
+
+    def test_architecture_documents_http_serving(self):
+        text = (REPO / "ARCHITECTURE.md").read_text(encoding="utf-8")
+        assert "HTTP serving data flow" in text
+        assert "SimRankHTTPApp" in text
 
     def test_readme_links_architecture_and_docs(self):
         text = (REPO / "README.md").read_text(encoding="utf-8")

@@ -40,7 +40,7 @@ class TestReproducibility:
         def strip_timing(payload):
             volatile = {
                 "wall_seconds", "qps", "latency", "maintenance_seconds",
-                "maintenance_per_update_s",
+                "maintenance_per_update_s", "metrics",  # metrics embed qps/pXX
             }
             return [
                 {k: v for k, v in report.items() if k not in volatile}
