@@ -228,13 +228,17 @@ def _cmd_workload(args) -> int:
         workers=args.workers, sync_every=args.sync_every,
         executor=args.executor, cache_size=args.cache_size,
         maintenance=args.maintenance,
+        shards=args.shards, partition=args.partition,
+    )
+    sharding = (
+        f", shards={args.shards} ({args.partition})" if args.shards else ""
     )
     print(format_table(
         result.rows(),
         title=(f"workload: {trace.num_queries} queries / {trace.num_updates} "
                f"updates, read_fraction={args.read_fraction}, "
                f"workers={args.workers}, executor={args.executor}, "
-               f"maintenance={args.maintenance}"),
+               f"maintenance={args.maintenance}{sharding}"),
     ))
     if args.json:
         path = write_json_report(args.json, result.to_dict())
@@ -276,12 +280,19 @@ def _cmd_serve(args) -> int:
 
     from repro.api.service import SimRankService
     from repro.parallel.pool import ParallelSimRankService
+    from repro.parallel.sharded import ShardedSimRankService
     from repro.server import ServerConfig, SimRankHTTPApp
 
     graph = _serve_graph(args)
     methods = [name.strip() for name in args.methods.split(",") if name.strip()]
     configs = _serve_method_configs(args, methods)
-    if args.workers > 0:
+    if args.shards > 0:
+        service = ShardedSimRankService(
+            graph, methods=tuple(methods), configs=configs,
+            shards=args.shards, partition=args.partition,
+            workers=max(args.workers, 1), cache_size=args.cache_size,
+        )
+    elif args.workers > 0:
         service = ParallelSimRankService(
             graph, methods=tuple(methods), configs=configs,
             workers=args.workers, cache_size=args.cache_size,
@@ -309,10 +320,14 @@ def _cmd_serve(args) -> int:
                 loop.add_signal_handler(sig, stop.set)
             except NotImplementedError:  # pragma: no cover - non-posix loops
                 pass
+        sharding = (
+            f"shards={args.shards} ({args.partition}), " if args.shards > 0
+            else ""
+        )
         print(
             f"serving {methods} on http://{args.host}:{app.port} "
-            f"(workers={args.workers}, coalesce={not args.no_coalesce}); "
-            "ctrl-c to stop",
+            f"({sharding}workers={args.workers}, "
+            f"coalesce={not args.no_coalesce}); ctrl-c to stop",
             flush=True,
         )
         try:
@@ -416,12 +431,20 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--update-batch", type=int, default=4, dest="update_batch",
                           help="max update arrival-batch size")
     workload.add_argument("--workers", type=int, default=1,
-                          help="query-side pool width (one replica each)")
+                          help="query-side pool width (one replica each; "
+                               "per shard with --shards)")
     workload.add_argument("--executor", default="thread",
                           choices=("thread", "process", "sequential"),
                           help="replica pool: GIL-bound threads, worker "
                                "processes over a shared-memory graph, or the "
                                "process service's in-process oracle")
+    workload.add_argument("--shards", type=int, default=None,
+                          help="replay on the sharded router with this many "
+                               "shards (process/sequential executor only)")
+    workload.add_argument("--partition", default="hash",
+                          choices=("hash", "degree"),
+                          help="node-to-shard assignment strategy (with "
+                               "--shards)")
     workload.add_argument("--maintenance", default="auto",
                           choices=("auto", "delta", "rebuild"),
                           help="process-executor update path: in-place delta "
@@ -468,10 +491,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--methods", default="probesim-batched",
                        help="comma-separated registry names to mount")
     serve.add_argument("--workers", type=int, default=0,
-                       help="worker processes (0 = in-process sequential service)")
+                       help="worker processes (0 = in-process sequential "
+                            "service; per shard with --shards)")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="serve through the sharded router with this many "
+                            "per-shard worker groups (0 = unsharded)")
+    serve.add_argument("--partition", default="hash",
+                       choices=("hash", "degree"),
+                       help="node-to-shard assignment strategy (with --shards)")
     serve.add_argument("--cache-size", type=int, default=0, dest="cache_size",
                        help="update-aware result cache capacity "
-                            "(workers > 0 only; 0 disables)")
+                            "(workers > 0 only; per shard with --shards; "
+                            "0 disables)")
     serve.add_argument("--no-coalesce", action="store_true", dest="no_coalesce",
                        help="dispatch each request individually (micro-batching off)")
     serve.add_argument("--coalesce-window", type=float, default=0.002,

@@ -19,20 +19,46 @@ keeping the graph physically shared:
     :class:`~repro.parallel.cache.ResultCache` — an update-aware LRU for
     single-source results keyed ``(method, query, epoch)``, invalidated by
     epoch bumps.
+:mod:`~repro.parallel.partition`
+    Node-ownership partitioning (hash and degree-balanced) plus the
+    incident-edge shard-subgraph rule the shard layer routes by.
+:mod:`~repro.parallel.sharded`
+    :class:`~repro.parallel.sharded.ShardedSimRankService` — a router over
+    ``P`` per-shard worker groups (one shared graph segment, delta log,
+    and cache each), same service surface, shard-parallel batch fan-out.
 
-Entry points: ``repro workload --executor process`` on the CLI and
-``benchmarks/bench_parallel_service.py`` in the harness.
+Entry points: ``repro workload --executor process [--shards P]`` and
+``repro serve --shards P`` on the CLI, plus
+``benchmarks/bench_parallel_service.py`` and
+``benchmarks/bench_sharded_service.py`` in the harness.
 """
 
 from repro.parallel.cache import CacheStats, ResultCache
+from repro.parallel.partition import (
+    PARTITION_STRATEGIES,
+    Partition,
+    degree_partition,
+    hash_partition,
+    make_partition,
+    shard_subgraph,
+)
 from repro.parallel.pool import ParallelSimRankService, derive_replica_config
+from repro.parallel.sharded import ShardedCacheView, ShardedSimRankService
 from repro.parallel.shm import SharedCSRGraph, ShmGraphDescriptor
 
 __all__ = [
+    "PARTITION_STRATEGIES",
     "CacheStats",
     "ParallelSimRankService",
+    "Partition",
     "ResultCache",
+    "ShardedCacheView",
+    "ShardedSimRankService",
     "SharedCSRGraph",
     "ShmGraphDescriptor",
+    "degree_partition",
     "derive_replica_config",
+    "hash_partition",
+    "make_partition",
+    "shard_subgraph",
 ]

@@ -1,0 +1,198 @@
+"""Node partitioning for the sharded serving layer.
+
+The sharded service splits a graph's *nodes* into ``P`` disjoint ownership
+sets and gives every shard the subgraph of edges **incident to its owned
+nodes** — the write/serve-path partitioning story of LogBase and the
+qserv partition-and-route design applied to SimRank serving.  Two
+properties fall out of that edge rule and carry the whole layer:
+
+- an edge update ``(u, v)`` changes the subgraphs of ``owner(u)`` and
+  ``owner(v)`` *only* — every other shard's graph literally does not
+  contain the edge, so per-shard delta logs and per-shard cache
+  invalidation are sound without any cross-shard coordination;
+- with one shard the subgraph **is** the input graph (same adjacency
+  order, see :meth:`repro.graph.digraph.DiGraph.edge_subgraph`), which is
+  what lets ``P=1`` reproduce the unsharded service bit for bit.
+
+Two strategies are provided.  :func:`hash_partition` spreads nodes by a
+fixed integer mix (SplitMix64's finalizer — deterministic across
+platforms and Python processes, unlike the builtin ``hash``).
+:func:`degree_partition` greedily balances *degree mass* instead of node
+count: nodes are placed heaviest-first onto the lightest shard, so a few
+hubs cannot pile replicated edges onto one worker group.  Both are pure
+functions of their inputs; the resulting :class:`Partition` is the single
+routing authority the sharded service consults.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GraphError
+from repro.graph.csr import CSRGraph, as_csr
+from repro.graph.digraph import DiGraph
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "PARTITION_STRATEGIES",
+    "Partition",
+    "degree_partition",
+    "hash_partition",
+    "make_partition",
+    "shard_subgraph",
+]
+
+#: strategies :func:`make_partition` resolves by name.
+PARTITION_STRATEGIES = ("hash", "degree")
+
+
+class Partition:
+    """An assignment of every node to exactly one owning shard.
+
+    ``owner`` is an int64 array of shape ``(num_nodes,)`` with values in
+    ``[0, num_shards)``.  Shards may own zero nodes (``num_shards`` larger
+    than the graph is legal — the extra shards simply never receive a
+    query or an update).
+    """
+
+    def __init__(self, owner: np.ndarray, num_shards: int, strategy: str) -> None:
+        check_positive_int("num_shards", num_shards)
+        owner = np.ascontiguousarray(owner, dtype=np.int64)
+        if owner.ndim != 1:
+            raise ConfigurationError(
+                f"owner must be a 1-d array, got shape {owner.shape}"
+            )
+        if owner.size and not (
+            0 <= int(owner.min()) and int(owner.max()) < num_shards
+        ):
+            raise ConfigurationError(
+                f"owner values must lie in [0, {num_shards}), got "
+                f"[{int(owner.min())}, {int(owner.max())}]"
+            )
+        owner.setflags(write=False)
+        self.owner = owner
+        self.num_shards = int(num_shards)
+        self.strategy = strategy
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.owner.size)
+
+    def owner_of(self, node: int) -> int:
+        """The shard that owns ``node`` (raises for out-of-range ids)."""
+        if not 0 <= node < self.num_nodes:
+            raise GraphError(
+                f"node {node} out of range [0, {self.num_nodes})"
+            )
+        return int(self.owner[node])
+
+    def shard_nodes(self, shard: int) -> np.ndarray:
+        """The node ids owned by ``shard``, ascending."""
+        if not 0 <= shard < self.num_shards:
+            raise ConfigurationError(
+                f"shard {shard} out of range [0, {self.num_shards})"
+            )
+        return np.flatnonzero(self.owner == shard)
+
+    def counts(self) -> list[int]:
+        """Owned-node count per shard (length ``num_shards``)."""
+        return np.bincount(self.owner, minlength=self.num_shards).tolist()
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition(num_shards={self.num_shards}, "
+            f"num_nodes={self.num_nodes}, strategy={self.strategy!r})"
+        )
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """SplitMix64's finalizer over a uint64 array (wrapping arithmetic)."""
+    z = values + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def hash_partition(num_nodes: int, num_shards: int) -> Partition:
+    """Assign nodes to shards by a fixed integer mix of the node id.
+
+    Deterministic across runs, platforms, and processes (no ``hash``
+    randomisation), and independent of the graph's edges — routing a query
+    or update needs only the node id.
+    """
+    if num_nodes < 0:
+        raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
+    check_positive_int("num_shards", num_shards)
+    ids = np.arange(num_nodes, dtype=np.uint64)
+    with np.errstate(over="ignore"):  # uint64 wraparound is the point
+        mixed = _splitmix64(ids)
+    owner = (mixed % np.uint64(num_shards)).astype(np.int64)
+    return Partition(owner, num_shards, "hash")
+
+
+def degree_partition(graph: "DiGraph | CSRGraph", num_shards: int) -> Partition:
+    """Greedily balance total degree (in + out) across shards.
+
+    Nodes are placed heaviest-first onto the currently lightest shard
+    (ties broken toward the lower shard index, then the lower node id), so
+    hub nodes — whose incident edges are what each shard replicates —
+    spread evenly instead of hashing together.  Deterministic for a given
+    graph.
+    """
+    check_positive_int("num_shards", num_shards)
+    csr = as_csr(graph)
+    degrees = csr.in_degrees + csr.out_degrees
+    # argsort on (-degree, node): stable sort over node-ascending input
+    order = np.argsort(-degrees, kind="stable")
+    owner = np.zeros(csr.num_nodes, dtype=np.int64)
+    heap = [(0, shard) for shard in range(num_shards)]  # (load, shard)
+    heapq.heapify(heap)
+    for node in order:
+        load, shard = heapq.heappop(heap)
+        owner[node] = shard
+        heapq.heappush(heap, (load + int(degrees[node]) + 1, shard))
+    return Partition(owner, num_shards, "degree")
+
+
+def make_partition(
+    graph: "DiGraph | CSRGraph", num_shards: int, strategy: str = "hash"
+) -> Partition:
+    """Resolve a strategy name to its :class:`Partition` for ``graph``."""
+    if strategy not in PARTITION_STRATEGIES:
+        raise ConfigurationError(
+            f"partition strategy must be one of {PARTITION_STRATEGIES}, "
+            f"got {strategy!r}"
+        )
+    if strategy == "degree":
+        return degree_partition(graph, num_shards)
+    return hash_partition(graph.num_nodes, num_shards)
+
+
+def shard_subgraph(
+    graph: "DiGraph | CSRGraph", partition: Partition, shard: int
+) -> DiGraph:
+    """The subgraph shard ``shard`` serves: edges incident to its nodes.
+
+    The result keeps the full node-id space (``num_nodes`` is unchanged —
+    score vectors stay globally indexed and no id remapping exists
+    anywhere in the layer) but contains exactly the edges ``(u, v)`` with
+    ``owner(u) == shard or owner(v) == shard``, in the parent's adjacency
+    order.  Summed over all shards that is at most ``2m`` edges; with one
+    shard it is the whole graph, adjacency-order included.
+    """
+    if not 0 <= shard < partition.num_shards:
+        raise ConfigurationError(
+            f"shard {shard} out of range [0, {partition.num_shards})"
+        )
+    if graph.num_nodes != partition.num_nodes:
+        raise GraphError(
+            f"partition covers {partition.num_nodes} nodes but the graph "
+            f"has {graph.num_nodes}"
+        )
+    base = graph if isinstance(graph, DiGraph) else graph.to_digraph()
+    owner = partition.owner
+    return base.edge_subgraph(
+        lambda s, t: owner[s] == shard or owner[t] == shard
+    )

@@ -1,0 +1,454 @@
+"""Sharded SimRank serving: a router over per-shard worker groups.
+
+:class:`ShardedSimRankService` lifts the shared-memory parallel service
+past its one-pool ceiling: the graph is partitioned into ``P`` shards
+(:mod:`repro.parallel.partition`), each shard owns one
+:class:`~repro.parallel.pool.ParallelSimRankService` — its own
+:class:`~repro.parallel.shm.SharedCSRGraph` segment, worker group, delta
+log, and result cache — and this router speaks the usual
+:class:`~repro.api.service.QueryServiceBase` surface on top:
+
+Routing
+    A single-source or top-k query goes to the shard *owning* the query
+    node.  A ``*_many`` batch is split by owner (relative order within
+    each shard preserved), the per-shard sub-batches fan out
+    shard-parallel, and the answers merge back in the caller's order.
+    Each shard then applies the unsharded service's deterministic
+    schedule — dedup, cache probe, positional split — to its own
+    sub-batch, so the full dispatch is a pure function of
+    ``(graph, partition, configs, workers, call sequence)``.
+
+Shard-scoped updates
+    Shard ``s`` serves the subgraph of edges incident to its owned nodes,
+    so an edge update ``(u, v)`` is routed to ``owner(u)`` and
+    ``owner(v)`` only: the burst rides each owning shard's delta log and
+    invalidates each owning shard's cache neighborhood, and every other
+    shard — whose graph does not contain the edge — keeps serving
+    untouched, caches warm.  A spanning update (endpoints in two shards)
+    lands on both.
+
+Determinism contract
+    ``executor="sequential"`` replays the identical per-shard schedule
+    in-process and is the bit-exactness oracle at every ``P``.  With
+    ``P=1`` the single shard's subgraph *is* the input graph
+    (adjacency order included), so the service is bit-identical to an
+    unsharded :class:`~repro.parallel.pool.ParallelSimRankService` with
+    the same knobs — the anchor the correctness suite pins.
+
+Answers at ``P>1`` are computed against the shard-local subgraph: walks
+never cross into edges not incident to the owning shard, which is the
+locality approximation that buys O(m/P)-ish per-shard memory and
+shard-parallel throughput.  Each shard count is therefore its *own*
+estimator configuration with its own sequential oracle, exactly like a
+different ``eps_a``: deterministic and reproducible per ``P``, not
+bit-comparable across ``P``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.api.service import QueryServiceBase, ServiceStats
+from repro.errors import ConfigurationError, QueryError
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.dynamic import EdgeUpdate, apply_update
+from repro.parallel.partition import (
+    Partition,
+    make_partition,
+    shard_subgraph,
+)
+from repro.parallel.pool import ParallelSimRankService
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ShardedCacheView", "ShardedSimRankService"]
+
+
+class ShardedCacheView:
+    """A read-side merge of every shard's result cache.
+
+    Exposes the surface the workload driver and the HTTP ``/metrics``
+    endpoint read (``enabled``, ``snapshot()``); mutation stays with the
+    per-shard caches, which the shards' own sync paths invalidate.
+    """
+
+    def __init__(self, caches: Sequence) -> None:
+        self._caches = tuple(caches)
+
+    @property
+    def enabled(self) -> bool:
+        """True when any shard's cache is enabled."""
+        return any(cache.enabled for cache in self._caches)
+
+    @property
+    def capacity(self) -> int:
+        """Total capacity across shards."""
+        return sum(cache.capacity for cache in self._caches)
+
+    def __len__(self) -> int:
+        return sum(len(cache) for cache in self._caches)
+
+    def snapshot(self) -> dict[str, object]:
+        """Summed counter snapshot across shards (per-shard locked reads)."""
+        merged = {
+            "hits": 0, "misses": 0, "evictions": 0, "invalidations": 0,
+            "size": 0,
+        }
+        for cache in self._caches:
+            snap = cache.snapshot()
+            for key in merged:
+                merged[key] += snap[key]
+        lookups = merged["hits"] + merged["misses"]
+        merged["hit_rate"] = merged["hits"] / lookups if lookups else 0.0
+        return merged
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return (
+            f"ShardedCacheView(shards={len(self._caches)}, "
+            f"size={snap['size']}, hit_rate={snap['hit_rate']:.2f})"
+        )
+
+
+class ShardedSimRankService(QueryServiceBase):
+    """Route queries and updates across per-shard parallel services.
+
+    >>> from repro.graph import DiGraph
+    >>> g = DiGraph.from_edges([(0, 1), (1, 0), (2, 0), (2, 1)])
+    >>> with ShardedSimRankService(
+    ...     g, methods=("probesim",), shards=2, workers=1,
+    ...     executor="sequential",
+    ...     configs={"probesim": {"eps_a": 0.2, "seed": 7}},
+    ... ) as service:
+    ...     service.single_source(0).score(0)
+    1.0
+
+    Parameters
+    ----------
+    graph:
+        A mutable :class:`DiGraph` (enables :meth:`apply_edges`) or a
+        frozen :class:`CSRGraph` (read-only service).  Each shard serves
+        its own subgraph copy; a mutable input graph is kept current as
+        the router applies updates, so ``service.graph`` always shows the
+        global state.
+    shards:
+        Number of shards ``P`` (positive).  Each shard owns one shared
+        graph segment and one worker group, so the total worker count is
+        ``shards * workers``.
+    partition:
+        ``"hash"`` (default), ``"degree"``, or a prebuilt
+        :class:`~repro.parallel.partition.Partition` covering the graph.
+    workers:
+        Worker-group width *per shard*.
+    cache_size:
+        Result-cache capacity *per shard* (``0`` disables caching).
+    methods / configs / default_method / auto_sync / maintenance /
+    delta_log_capacity / executor / start_method / allow_unsafe /
+    rpc_timeout / history_limit:
+        As on :class:`~repro.parallel.pool.ParallelSimRankService`; every
+        shard gets the same configuration, so replica seeds depend on the
+        worker index only and ``P=1`` reproduces the unsharded service
+        exactly.
+
+    Always :meth:`close` the service (or use it as a context manager) —
+    it tears down every shard's pool and shared-memory segments.
+    """
+
+    def __init__(
+        self,
+        graph,
+        methods: Sequence[str] = ("probesim",),
+        configs: dict[str, dict] | None = None,
+        default_method: str | None = None,
+        shards: int = 2,
+        partition: "str | Partition" = "hash",
+        workers: int = 2,
+        cache_size: int = 0,
+        auto_sync: bool = True,
+        maintenance: str = "auto",
+        delta_log_capacity: int = 256,
+        executor: str = "process",
+        start_method: str | None = None,
+        allow_unsafe: bool = False,
+        rpc_timeout: float = 300.0,
+        history_limit: int = 10_000,
+    ) -> None:
+        check_positive_int("shards", shards)
+        super().__init__(graph, default_method=default_method)
+        self.shards = int(shards)
+        self.workers = int(workers)
+        self.executor = executor
+        self.auto_sync = auto_sync
+        self._digraph = graph if isinstance(graph, DiGraph) else None
+        self._num_nodes = graph.num_nodes
+        if isinstance(partition, Partition):
+            if partition.num_shards != self.shards:
+                raise ConfigurationError(
+                    f"partition has {partition.num_shards} shards but the "
+                    f"service was asked for {self.shards}"
+                )
+            self.partition = partition
+        else:
+            self.partition = make_partition(graph, self.shards, partition)
+        if self.partition.num_nodes != self._num_nodes:
+            raise ConfigurationError(
+                f"partition covers {self.partition.num_nodes} nodes but "
+                f"the graph has {self._num_nodes}"
+            )
+        self._closed = False
+        self._stale = False
+        self._updates_applied = 0
+        self._syncs = 0
+        self._services: list[ParallelSimRankService] = []
+        self._fanout: ThreadPoolExecutor | None = None
+        try:
+            for shard in range(self.shards):
+                sub = shard_subgraph(graph, self.partition, shard)
+                if self._digraph is None:
+                    # frozen input: shards must be read-only too
+                    sub = CSRGraph.from_digraph(sub)
+                self._services.append(ParallelSimRankService(
+                    sub,
+                    methods=methods,
+                    configs=configs,
+                    default_method=default_method,
+                    workers=workers,
+                    cache_size=cache_size,
+                    auto_sync=False,  # the router owns the sync cadence
+                    maintenance=maintenance,
+                    delta_log_capacity=delta_log_capacity,
+                    executor=executor,
+                    start_method=start_method,
+                    allow_unsafe=allow_unsafe,
+                    rpc_timeout=rpc_timeout,
+                    history_limit=history_limit,
+                ))
+            self._default = self._services[0]._default
+            if executor == "process" and self.shards > 1:
+                self._fanout = ThreadPoolExecutor(
+                    max_workers=self.shards,
+                    thread_name_prefix="repro-shard",
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # protocol surface
+    # ------------------------------------------------------------------ #
+
+    def _method_keys(self) -> Iterable[str]:
+        return self._services[0]._mounts
+
+    @property
+    def shard_services(self) -> tuple[ParallelSimRankService, ...]:
+        """The per-shard services, in shard order (read-only tuple)."""
+        return tuple(self._services)
+
+    @property
+    def maintenance(self) -> str:
+        """The resolved maintenance path (identical on every shard)."""
+        return self._services[0].maintenance
+
+    @property
+    def epoch(self) -> int:
+        """Summed shard epochs: moves exactly when any shard republishes."""
+        return sum(service.epoch for service in self._services)
+
+    @property
+    def cache(self) -> ShardedCacheView:
+        """Merged read view over the per-shard result caches."""
+        return ShardedCacheView([s.cache for s in self._services])
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Merged operational counters across shards.
+
+        Query-side counters sum over shards (ownership sets are disjoint,
+        so the sums carry their global meaning); maintenance events that
+        are genuinely per-shard (epochs, delta syncs, notifications,
+        restarts) sum too.  ``updates_applied`` and ``syncs`` report the
+        *router-level* counts — a spanning update lands on two shards but
+        is one logical update, and one :meth:`sync` flushes every shard.
+        """
+        merged = ServiceStats()
+        for service in self._services:
+            stats = service.stats
+            merged.queries += stats.queries
+            merged.batches += stats.batches
+            merged.batched_queries += stats.batched_queries
+            merged.batched_unique += stats.batched_unique
+            merged.epochs += stats.epochs
+            merged.delta_syncs += stats.delta_syncs
+            merged.delta_updates += stats.delta_updates
+            merged.incremental_notifications += stats.incremental_notifications
+            merged.worker_restarts += stats.worker_restarts
+            for method, seconds in stats.maintenance_seconds.items():
+                merged.charge_maintenance(method, seconds)
+        merged.updates_applied = self._updates_applied
+        merged.syncs = self._syncs
+        return merged
+
+    @stats.setter
+    def stats(self, value: ServiceStats) -> None:
+        # QueryServiceBase.__init__ assigns a fresh ServiceStats; the
+        # router's stats are a computed merge, so the assignment is
+        # accepted and discarded (per-shard counters are authoritative).
+        del value
+
+    def capabilities(self, method: str | None = None):
+        """Registry-declared capability descriptor of one served method."""
+        return self._services[0].capabilities(method)
+
+    def _check_query_node(self, query) -> int:
+        node = self._check_query_id(query)
+        if not 0 <= node < self._num_nodes:
+            raise QueryError(
+                f"query node {node} out of range [0, {self._num_nodes})"
+            )
+        return node
+
+    def _owner_of(self, node: int) -> int:
+        return int(self.partition.owner[node])
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def single_source(self, query: int, method: str | None = None):
+        """One single-source query, answered by the owning shard."""
+        key = self._resolve_method(method)
+        node = self._check_query_node(query)
+        return self._services[self._owner_of(node)].single_source(node, key)
+
+    def topk(self, query: int, k: int, method: str | None = None):
+        """One top-k query, answered by the owning shard."""
+        key = self._resolve_method(method)
+        node = self._check_query_node(query)
+        return self._services[self._owner_of(node)].topk(node, k, key)
+
+    def single_source_many(
+        self, queries: Sequence[int], method: str | None = None
+    ) -> list:
+        """A batch split by owning shard, fanned out shard-parallel.
+
+        Every shard receives its members in the caller's relative order
+        and runs the unsharded dedup/cache-probe/positional-split schedule
+        on them; the per-shard answers merge back in global batch order.
+        Shards execute concurrently under the process executor (each shard
+        is its own worker pool), serially in shard order under the
+        sequential oracle — either way each shard's answers depend only on
+        its own sub-batch, so the merged batch is deterministic.
+        """
+        key = self._resolve_method(method)
+        batch = [self._check_query_node(query) for query in queries]
+        per_shard: dict[int, list[int]] = {}
+        for node in batch:
+            per_shard.setdefault(self._owner_of(node), []).append(node)
+        answered: dict[int, list] = {}
+        items = sorted(per_shard.items())
+        if self._fanout is not None and len(items) > 1:
+            futures = [
+                (shard, self._fanout.submit(
+                    self._services[shard].single_source_many, nodes, key
+                ))
+                for shard, nodes in items
+            ]
+            answered = {shard: future.result() for shard, future in futures}
+        else:
+            answered = {
+                shard: self._services[shard].single_source_many(nodes, key)
+                for shard, nodes in items
+            }
+        cursors = {shard: iter(results) for shard, results in answered.items()}
+        return [next(cursors[self._owner_of(node)]) for node in batch]
+
+    # topk_many comes from QueryServiceBase: top-k views of the batched
+    # single-source path, exactly like both unsharded services.
+
+    # ------------------------------------------------------------------ #
+    # dynamic maintenance
+    # ------------------------------------------------------------------ #
+
+    def apply_edges(
+        self,
+        added: Iterable[tuple[int, int]] = (),
+        removed: Iterable[tuple[int, int]] = (),
+    ) -> int:
+        """Apply edge insertions then deletions; maintain via :meth:`sync`."""
+        updates = [EdgeUpdate("insert", int(s), int(t)) for s, t in added]
+        updates += [EdgeUpdate("delete", int(s), int(t)) for s, t in removed]
+        return self.apply_update_stream(updates)
+
+    def apply_update_stream(self, updates: Iterable[EdgeUpdate]) -> int:
+        """Route an ordered update stream to each update's owning shards.
+
+        Every update first mutates the router's global graph (validating
+        it — an invalid update never reaches a shard), then lands on the
+        subgraphs of ``owner(source)`` and ``owner(target)`` in shard
+        order.  Non-owning shards are untouched: their graphs do not
+        contain the edge.  Shards buffer the updates (their
+        ``auto_sync`` is off); :meth:`sync` ships them — immediately when
+        the router's ``auto_sync`` is on.
+        """
+        if self._digraph is None:
+            raise ConfigurationError(
+                "apply_edges needs a mutable DiGraph; this service owns a "
+                "frozen snapshot"
+            )
+        count = 0
+        try:
+            for update in updates:
+                owners = sorted({
+                    self._owner_of(self._check_query_node(update.source)),
+                    self._owner_of(self._check_query_node(update.target)),
+                })
+                apply_update(self._digraph, update)
+                for shard in owners:
+                    self._services[shard].apply_update_stream([update])
+                self._stale = True
+                count += 1
+        finally:
+            self._updates_applied += count
+            if count and self.auto_sync:
+                self.sync()
+        return count
+
+    def sync(self) -> None:
+        """Flush every shard's buffered maintenance, in shard order.
+
+        Each shard independently takes its delta or rebuild path exactly
+        as the unsharded service would for the updates it owns; shards
+        with nothing pending no-op.  Idempotent.
+        """
+        for service in self._services:
+            service.sync()
+        if self._stale:
+            self._syncs += 1
+            self._stale = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Close every shard service and the fan-out pool.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for service in self._services:
+            service.close()
+        if self._fanout is not None:
+            self._fanout.shutdown(wait=True)
+            self._fanout = None
+
+    # __enter__/__exit__ come from QueryServiceBase: `with` guarantees close().
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedSimRankService(methods={self.methods}, "
+            f"shards={self.shards}, workers={self.workers}, "
+            f"partition={self.partition.strategy!r}, "
+            f"executor={self.executor!r}, epoch={self.epoch})"
+        )

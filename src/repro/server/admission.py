@@ -32,15 +32,21 @@ from dataclasses import dataclass
 
 from repro.errors import AdmissionError, ConfigurationError
 
-__all__ = ["AdmissionController", "Deadline", "LANES", "LaneStats"]
+__all__ = [
+    "AdmissionController",
+    "AdmissionPermit",
+    "Deadline",
+    "LANES",
+    "LaneStats",
+]
 
 
-def _now() -> float:
-    """Event-loop time inside a loop, monotonic clock outside one."""
+def _pick_clock():
+    """The event-loop clock inside a running loop, ``time.monotonic`` outside."""
     try:
-        return asyncio.get_running_loop().time()
+        return asyncio.get_running_loop().time
     except RuntimeError:
-        return time.monotonic()
+        return time.monotonic
 
 #: request classes with independent bounds (reads never starve behind
 #: updates and vice versa — the HTAP-style isolation the ROADMAP aims at).
@@ -48,7 +54,14 @@ LANES = ("single_source", "topk", "batch", "update")
 
 
 class Deadline:
-    """A per-request time budget measured on the event-loop clock.
+    """A per-request time budget pinned to one monotonic clock.
+
+    The clock is chosen **once at construction** — the event-loop clock
+    when a loop is running, ``time.monotonic`` otherwise — and every
+    ``remaining()`` call reads that same clock.  Choosing per call would
+    compare timestamps from two different epochs for a ``Deadline``
+    built before the loop starts (the CLI/serve startup path) and make it
+    expire never or immediately, depending on which clock runs ahead.
 
     ``None`` seconds means "no deadline" (``remaining()`` is ``None``,
     which ``asyncio.wait_for`` treats as wait-forever).
@@ -58,13 +71,14 @@ class Deadline:
         if seconds is not None and seconds <= 0:
             raise ConfigurationError(f"deadline must be positive, got {seconds!r}")
         self.seconds = seconds
-        self._expires = None if seconds is None else _now() + seconds
+        self._clock = _pick_clock()
+        self._expires = None if seconds is None else self._clock() + seconds
 
     def remaining(self) -> float | None:
         """Seconds left (clamped at 0), or ``None`` for no deadline."""
         if self._expires is None:
             return None
-        return max(0.0, self._expires - _now())
+        return max(0.0, self._expires - self._clock())
 
     @property
     def expired(self) -> bool:
@@ -74,14 +88,39 @@ class Deadline:
 
 @dataclass
 class LaneStats:
-    """Counters of one admission lane (exposed through ``/metrics``)."""
+    """Counters of one admission lane (exposed through ``/metrics``).
+
+    Every admitted request ends in exactly one of ``completed`` or
+    ``timeouts``, so ``admitted == completed + timeouts + in_flight``
+    holds at every instant — the invariant dashboards difference against.
+    """
 
     capacity: int
     in_flight: int = 0
     peak_in_flight: int = 0
     admitted: int = 0
     shed: int = 0
+    completed: int = 0
     timeouts: int = 0
+
+
+class AdmissionPermit:
+    """One admitted request's hold on a lane, yielded by ``admit``.
+
+    Call :meth:`record_timeout` before the ``with`` block exits to settle
+    the request as expired; otherwise it settles as completed.  Exactly
+    one of the two counters moves per admission.
+    """
+
+    __slots__ = ("lane", "timed_out")
+
+    def __init__(self, lane: LaneStats) -> None:
+        self.lane = lane
+        self.timed_out = False
+
+    def record_timeout(self) -> None:
+        """Mark this request deadline-expired (idempotent)."""
+        self.timed_out = True
 
 
 class AdmissionController:
@@ -145,6 +184,13 @@ class AdmissionController:
         Raises :class:`AdmissionError` *synchronously* when the lane is at
         capacity — admission never waits, so the shed path stays cheap and
         a full lane cannot build hidden queueing.
+
+        Yields an :class:`AdmissionPermit`; on block exit the request
+        settles as ``completed`` unless ``permit.record_timeout()`` was
+        called, in which case it settles as ``timeouts``.  A request that
+        is admitted and then cancelled by deadline expiry therefore never
+        leaks out of the ``admitted == completed + timeouts + in_flight``
+        balance.
         """
         lane = self._lane(lane_name)
         if lane.in_flight >= lane.capacity:
@@ -153,14 +199,28 @@ class AdmissionController:
         lane.in_flight += 1
         lane.peak_in_flight = max(lane.peak_in_flight, lane.in_flight)
         lane.admitted += 1
+        permit = AdmissionPermit(lane)
         try:
-            yield lane
+            yield permit
         finally:
             lane.in_flight -= 1
+            if permit.timed_out:
+                lane.timeouts += 1
+            else:
+                lane.completed += 1
 
     def record_timeout(self, lane_name: str) -> None:
-        """Count one admitted-then-expired request (for ``/metrics``)."""
-        self._lane(lane_name).timeouts += 1
+        """Settle one already-completed request as a timeout instead.
+
+        Back-compat path for callers that detect expiry only after the
+        ``admit`` block has exited: the request was counted ``completed``
+        on exit, so this moves it over rather than double-counting.
+        Inside the block, prefer ``permit.record_timeout()``.
+        """
+        lane = self._lane(lane_name)
+        lane.timeouts += 1
+        if lane.completed > 0:
+            lane.completed -= 1
 
     def metrics(self) -> dict[str, float]:
         """Flat counters for the metrics exposition, one set per lane."""
@@ -171,5 +231,6 @@ class AdmissionController:
             flat[f"admission_{name}_peak_in_flight"] = lane.peak_in_flight
             flat[f"admission_{name}_admitted"] = lane.admitted
             flat[f"admission_{name}_shed"] = lane.shed
+            flat[f"admission_{name}_completed"] = lane.completed
             flat[f"admission_{name}_timeouts"] = lane.timeouts
         return flat

@@ -317,14 +317,14 @@ class SimRankHTTPApp:
             if lane is None:
                 body, content_type = await handler(request)
                 return self._ok(body, content_type, keep_alive=keep_alive)
-            with self.admission.admit(lane):
+            with self.admission.admit(lane) as permit:
                 deadline = self._deadline(request)
                 try:
                     body, content_type = await asyncio.wait_for(
                         handler(request), timeout=deadline.remaining()
                     )
                 except (asyncio.TimeoutError, TimeoutError):
-                    self.admission.record_timeout(lane)
+                    permit.record_timeout()
                     return self._error_response(
                         504, f"deadline of {deadline.seconds:g}s expired",
                         keep_alive=keep_alive,

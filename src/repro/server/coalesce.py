@@ -152,16 +152,28 @@ class Coalescer:
         return await future
 
     async def flush(self) -> None:
-        """Dispatch every open bucket now and wait for in-flight flushes
-        (shutdown path: no request may be left parked on a timer or behind
-        another key's dispatch)."""
+        """Drain the coalescer: dispatch every open bucket, wait for every
+        in-flight dispatch (shutdown path: no request may be left parked on
+        a timer or behind another key's dispatch).
+
+        In-flight work is awaited *first*: a bucket parked behind its
+        key's running dispatch cannot be flushed until that dispatch's
+        done-callback releases the key, so beginning flushes earlier only
+        re-marks parked buckets ready and spins.  Once nothing is in
+        flight (the done-callbacks of awaited tasks have run by the time
+        ``gather`` returns), every remaining bucket flushes exactly once —
+        each round either retires dispatches or starts them, so the drain
+        makes progress every iteration instead of hot-looping.
+        """
         while self._buckets or self._flushes:
-            for key in list(self._buckets):
-                self._begin_flush(key)
             if self._flushes:
                 await asyncio.gather(
                     *list(self._flushes), return_exceptions=True
                 )
+                continue
+            for key in list(self._buckets):
+                self._begin_flush(key)
+        assert not self._in_flight, "coalescer drain left a dispatch in flight"
 
     def _flush_from_timer(self, key: Hashable) -> None:
         self._begin_flush(key)

@@ -1,0 +1,194 @@
+"""Partitioning: determinism, balance, the incident-edge subgraph rule."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.parallel.partition import (
+    PARTITION_STRATEGIES,
+    Partition,
+    degree_partition,
+    hash_partition,
+    make_partition,
+    shard_subgraph,
+)
+
+
+class TestPartitionContainer:
+    def test_owner_array_is_validated_and_frozen(self):
+        part = Partition(np.array([0, 1, 0]), num_shards=2, strategy="hash")
+        assert part.num_nodes == 3
+        assert part.counts() == [2, 1]
+        with pytest.raises(ValueError):
+            part.owner[0] = 1  # read-only
+
+    def test_out_of_range_owner_rejected(self):
+        with pytest.raises(ConfigurationError, match=r"\[0, 2\)"):
+            Partition(np.array([0, 2]), num_shards=2, strategy="hash")
+
+    def test_owner_of_checks_range(self):
+        part = Partition(np.array([1, 0]), num_shards=2, strategy="hash")
+        assert part.owner_of(0) == 1
+        with pytest.raises(GraphError, match="out of range"):
+            part.owner_of(2)
+
+    def test_shard_nodes_ascending_and_complete(self):
+        part = hash_partition(50, 3)
+        seen = np.concatenate([part.shard_nodes(s) for s in range(3)])
+        assert sorted(seen.tolist()) == list(range(50))
+        for s in range(3):
+            nodes = part.shard_nodes(s)
+            assert (np.diff(nodes) > 0).all() if nodes.size > 1 else True
+
+    def test_shard_nodes_rejects_bad_shard(self):
+        part = hash_partition(10, 2)
+        with pytest.raises(ConfigurationError, match="out of range"):
+            part.shard_nodes(2)
+
+
+class TestHashPartition:
+    def test_deterministic_across_calls(self):
+        a = hash_partition(500, 4)
+        b = hash_partition(500, 4)
+        np.testing.assert_array_equal(a.owner, b.owner)
+
+    def test_known_values_pinned(self):
+        """SplitMix64 is a published constant mix — pin a few outputs so a
+        silent change to the partitioner (which would re-home every node)
+        cannot slip through."""
+        owner = hash_partition(8, 4).owner
+        assert owner.tolist() == [3, 1, 2, 1, 2, 2, 0, 3]
+
+    def test_roughly_balanced(self):
+        counts = hash_partition(10_000, 8).counts()
+        assert min(counts) > 0.8 * (10_000 / 8)
+        assert max(counts) < 1.2 * (10_000 / 8)
+
+    def test_empty_graph_and_bad_args(self):
+        assert hash_partition(0, 3).counts() == [0, 0, 0]
+        with pytest.raises(GraphError, match="non-negative"):
+            hash_partition(-1, 2)
+        with pytest.raises(ConfigurationError):
+            hash_partition(5, 0)
+
+
+class TestDegreePartition:
+    def test_deterministic(self, tiny_wiki):
+        a = degree_partition(tiny_wiki, 4)
+        b = degree_partition(tiny_wiki, 4)
+        np.testing.assert_array_equal(a.owner, b.owner)
+
+    def test_balances_degree_mass(self, tiny_wiki):
+        part = degree_partition(tiny_wiki, 4)
+        csr = CSRGraph.from_digraph(tiny_wiki)
+        degrees = csr.in_degrees + csr.out_degrees
+        loads = [
+            int(degrees[part.shard_nodes(s)].sum()) for s in range(4)
+        ]
+        # greedy heaviest-first keeps shard degree mass within one hub
+        assert max(loads) - min(loads) <= int(degrees.max())
+
+    def test_accepts_csr_input(self, tiny_wiki_csr):
+        part = degree_partition(tiny_wiki_csr, 3)
+        assert part.num_nodes == tiny_wiki_csr.num_nodes
+        assert part.strategy == "degree"
+
+    def test_spreads_isolated_nodes(self):
+        graph = DiGraph(6)  # all nodes degree 0
+        counts = degree_partition(graph, 3).counts()
+        assert counts == [2, 2, 2]
+
+
+class TestMakePartition:
+    @pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+    def test_strategies_resolve(self, tiny_wiki, strategy):
+        part = make_partition(tiny_wiki, 2, strategy)
+        assert part.strategy == strategy
+        assert part.num_nodes == tiny_wiki.num_nodes
+
+    def test_unknown_strategy_rejected(self, tiny_wiki):
+        with pytest.raises(ConfigurationError, match="strategy"):
+            make_partition(tiny_wiki, 2, "random")
+
+
+class TestShardSubgraph:
+    def test_incident_edge_rule(self, diamond):
+        part = Partition(np.array([0, 0, 1, 1]), 2, "hash")
+        sub0 = shard_subgraph(diamond, part, 0)
+        sub1 = shard_subgraph(diamond, part, 1)
+        # shard 0 owns {0, 1}: every diamond edge touches one of them
+        # except none — all do; shard 1 owns {2, 3}
+        assert set(sub0.edges()) == {(1, 0), (2, 0), (0, 1), (3, 1)}
+        assert set(sub1.edges()) == {(2, 0), (3, 1), (3, 2)}
+        # node-id space is global in both shards
+        assert sub0.num_nodes == sub1.num_nodes == diamond.num_nodes
+
+    def test_union_covers_every_edge(self, tiny_wiki):
+        part = make_partition(tiny_wiki, 4, "hash")
+        union = set()
+        for shard in range(4):
+            union |= set(shard_subgraph(tiny_wiki, part, shard).edges())
+        assert union == set(tiny_wiki.edges())
+
+    def test_single_shard_preserves_adjacency_order(self):
+        # insertion order deliberately non-sorted: the subgraph must keep
+        # it in *both* directions so CSR snapshots are byte-identical
+        graph = DiGraph(5)
+        for s, t in [(3, 1), (0, 1), (2, 1), (1, 4), (1, 0)]:
+            graph.add_edge(s, t)
+        part = hash_partition(5, 1)
+        sub = shard_subgraph(graph, part, 0)
+        assert sub.in_neighbors(1) == graph.in_neighbors(1) == [3, 0, 2]
+        assert sub.out_neighbors(1) == graph.out_neighbors(1) == [4, 0]
+        a, b = CSRGraph.from_digraph(graph), CSRGraph.from_digraph(sub)
+        np.testing.assert_array_equal(a.in_indices, b.in_indices)
+        np.testing.assert_array_equal(a.out_indices, b.out_indices)
+
+    def test_multi_shard_keeps_relative_order(self):
+        graph = DiGraph(4)
+        for s, t in [(3, 0), (1, 0), (2, 0)]:
+            graph.add_edge(s, t)
+        part = Partition(np.array([0, 1, 0, 0]), 2, "hash")
+        sub1 = shard_subgraph(graph, part, 1)  # owns only node 1
+        assert sub1.in_neighbors(0) == [1]
+        sub0 = shard_subgraph(graph, part, 0)
+        # shard 0 keeps every edge (all incident to owned nodes), in order
+        assert sub0.in_neighbors(0) == [3, 1, 2]
+
+    def test_accepts_csr_input(self, tiny_wiki_csr):
+        part = hash_partition(tiny_wiki_csr.num_nodes, 2)
+        sub = shard_subgraph(tiny_wiki_csr, part, 0)
+        assert isinstance(sub, DiGraph)
+        assert sub.num_nodes == tiny_wiki_csr.num_nodes
+
+    def test_validates_shard_and_node_count(self, tiny_wiki):
+        part = make_partition(tiny_wiki, 2, "hash")
+        with pytest.raises(ConfigurationError, match="out of range"):
+            shard_subgraph(tiny_wiki, part, 2)
+        with pytest.raises(GraphError, match="nodes"):
+            shard_subgraph(DiGraph(3), part, 0)
+
+
+class TestEdgeSubgraph:
+    def test_keep_everything_is_a_faithful_copy(self, tiny_wiki):
+        clone = tiny_wiki.edge_subgraph(lambda s, t: True)
+        assert clone == tiny_wiki
+        assert list(clone.edges()) == list(tiny_wiki.edges())
+        first = next(iter(clone.edges()))
+        clone.remove_edge(*first)
+        assert clone != tiny_wiki  # adjacency was copied, not shared
+
+    def test_keep_nothing_empties_edges_only(self, tiny_wiki):
+        clone = tiny_wiki.edge_subgraph(lambda s, t: False)
+        assert clone.num_nodes == tiny_wiki.num_nodes
+        assert clone.num_edges == 0
+
+    def test_filtered_graph_supports_updates(self, diamond):
+        clone = diamond.edge_subgraph(lambda s, t: s != 3)
+        assert set(clone.edges()) == {(1, 0), (2, 0), (0, 1)}
+        clone.add_edge(3, 2)  # membership sets were rebuilt correctly
+        assert clone.has_edge(3, 2)
+        with pytest.raises(Exception):
+            clone.add_edge(1, 0)  # still a duplicate

@@ -2,12 +2,25 @@
 
 from __future__ import annotations
 
+import asyncio
 import time
 
 import pytest
 
 from repro.errors import AdmissionError, ConfigurationError
 from repro.server.admission import LANES, AdmissionController, Deadline
+
+
+class OffsetLoop(asyncio.SelectorEventLoop):
+    """An event loop whose clock runs 1000s ahead of ``time.monotonic``.
+
+    Loops are free to pick any monotonic reference; this one exaggerates
+    the skew so a deadline comparing timestamps across the two clocks
+    fails loudly instead of flaking.
+    """
+
+    def time(self) -> float:
+        return super().time() + 1000.0
 
 
 class TestDeadline:
@@ -28,6 +41,39 @@ class TestDeadline:
     def test_non_positive_budget_is_rejected(self, seconds):
         with pytest.raises(ConfigurationError, match="deadline"):
             Deadline(seconds)
+
+    def test_pinned_to_construction_clock_across_loop_boundary(self):
+        """Regression: a Deadline built before the loop starts (the
+        CLI/serve startup path) must not compare its start timestamp
+        against a different clock once the loop is running.  With the
+        clocks 1000s apart, the old per-call clock choice reads either
+        already-expired or never-expiring."""
+        deadline = Deadline(5.0)  # no running loop: pins time.monotonic
+
+        async def read() -> float:
+            return deadline.remaining()
+
+        loop = OffsetLoop()
+        try:
+            remaining = loop.run_until_complete(read())
+        finally:
+            loop.close()
+        assert 4.0 < remaining <= 5.0
+        assert not deadline.expired
+
+    def test_constructed_inside_loop_uses_loop_clock(self):
+        loop = OffsetLoop()
+
+        async def build_and_read() -> float:
+            deadline = Deadline(5.0)
+            await asyncio.sleep(0)
+            return deadline.remaining()
+
+        try:
+            remaining = loop.run_until_complete(build_and_read())
+        finally:
+            loop.close()
+        assert 4.0 < remaining <= 5.0
 
 
 class TestAdmissionControllerConfig:
@@ -121,6 +167,90 @@ class TestAdmit:
         controller = AdmissionController()
         controller.record_timeout("topk")
         assert controller.lanes["topk"].timeouts == 1
+
+
+class TestCompletedAccounting:
+    def test_normal_exit_settles_as_completed(self):
+        controller = AdmissionController()
+        with controller.admit("topk"):
+            pass
+        lane = controller.lanes["topk"]
+        assert lane.completed == 1
+        assert lane.timeouts == 0
+        assert lane.admitted == lane.completed + lane.timeouts
+
+    def test_permit_timeout_settles_as_timeout_not_completed(self):
+        controller = AdmissionController()
+        with controller.admit("topk") as permit:
+            permit.record_timeout()
+        lane = controller.lanes["topk"]
+        assert lane.timeouts == 1
+        assert lane.completed == 0
+        assert lane.admitted == lane.completed + lane.timeouts
+
+    def test_raised_block_still_settles_exactly_once(self):
+        controller = AdmissionController()
+        with pytest.raises(RuntimeError):
+            with controller.admit("batch"):
+                raise RuntimeError("handler blew up")
+        lane = controller.lanes["batch"]
+        assert lane.completed == 1
+        assert lane.admitted == lane.completed + lane.timeouts
+
+    def test_controller_record_timeout_moves_a_completed_request(self):
+        """Back-compat path: detecting expiry after the block exited must
+        re-classify the request, not double-count it."""
+        controller = AdmissionController()
+        with controller.admit("topk"):
+            pass
+        controller.record_timeout("topk")
+        lane = controller.lanes["topk"]
+        assert lane.completed == 0
+        assert lane.timeouts == 1
+        assert lane.admitted == lane.completed + lane.timeouts
+
+    def test_invariant_under_concurrent_admits_and_expiries(self):
+        """The ISSUE's broken invariant: admitted-then-cancelled requests
+        must land in exactly one terminal counter, even when admits, sheds,
+        deadline expiries, and clean completions interleave."""
+        controller = AdmissionController(8)
+
+        async def request(i: int) -> None:
+            await asyncio.sleep((i % 5) * 0.004)  # stagger arrivals
+            work = 0.05 if i % 3 == 0 else 0.0
+            try:
+                with controller.admit("batch") as permit:
+                    try:
+                        await asyncio.wait_for(
+                            asyncio.sleep(work), timeout=0.01
+                        )
+                    except (asyncio.TimeoutError, TimeoutError):
+                        permit.record_timeout()
+            except AdmissionError:
+                pass
+
+        asyncio.run(self._run_requests(request, count=60))
+        lane = controller.lanes["batch"]
+        assert lane.in_flight == 0
+        assert lane.timeouts > 0
+        assert lane.completed > 0
+        assert lane.admitted == lane.completed + lane.timeouts
+        assert lane.admitted + lane.shed == 60
+
+    @staticmethod
+    async def _run_requests(request, count: int) -> None:
+        await asyncio.gather(*(request(i) for i in range(count)))
+
+    def test_completed_in_metrics(self):
+        controller = AdmissionController()
+        with controller.admit("single_source"):
+            pass
+        with controller.admit("single_source") as permit:
+            permit.record_timeout()
+        metrics = controller.metrics()
+        assert metrics["admission_single_source_completed"] == 1
+        assert metrics["admission_single_source_timeouts"] == 1
+        assert metrics["admission_single_source_admitted"] == 2
 
 
 class TestMetrics:

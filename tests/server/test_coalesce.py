@@ -218,6 +218,47 @@ class TestFlush:
 
         asyncio.run(main())
 
+    def test_flush_drains_bucket_parked_behind_in_flight_dispatch(self):
+        """Regression: with every open bucket parked behind its key's
+        running dispatch, flush() must await the dispatch and then flush
+        the parked bucket exactly once — not spin re-marking it ready."""
+
+        async def main():
+            recorder = Recorder(delay=0.05)
+            coalescer = Coalescer(recorder, window=0.0)
+            first = asyncio.ensure_future(coalescer.submit("key", 1))
+            await asyncio.sleep(0.01)  # (1,) is now dispatching
+            parked = asyncio.ensure_future(coalescer.submit("key", 2))
+            await asyncio.sleep(0)  # bucket (2,) parked behind the dispatch
+            assert "key" in coalescer._in_flight
+            assert "key" in coalescer._buckets
+            await asyncio.wait_for(coalescer.flush(), timeout=5.0)
+            # every waiter answered; the parked bucket flushed exactly once
+            assert await first == 10
+            assert await parked == 20
+            assert recorder.batches == [("key", (1,)), ("key", (2,))]
+            assert not coalescer._buckets
+            assert not coalescer._in_flight
+            assert not coalescer._flushes
+
+        asyncio.run(main())
+
+    def test_flush_drains_parked_buckets_across_keys(self):
+        async def main():
+            recorder = Recorder(delay=0.03)
+            coalescer = Coalescer(recorder, window=0.0)
+            waiters = [asyncio.ensure_future(coalescer.submit(k, q))
+                       for q, k in enumerate(("a", "b"))]
+            await asyncio.sleep(0.01)  # both keys dispatching
+            waiters += [asyncio.ensure_future(coalescer.submit(k, q + 10))
+                        for q, k in enumerate(("a", "b"))]
+            await asyncio.sleep(0)  # both follow-ups parked
+            await asyncio.wait_for(coalescer.flush(), timeout=5.0)
+            assert await asyncio.gather(*waiters) == [0, 10, 100, 110]
+            assert not coalescer._buckets and not coalescer._in_flight
+
+        asyncio.run(main())
+
 
 class TestValidation:
     def test_negative_window_is_rejected(self):
