@@ -29,6 +29,13 @@ from repro.core import ProbeSim, ProbeSimConfig, SimRankResult, TopKResult
 from repro.errors import ReproError
 from repro.extensions import AdaptiveTopK, WalkIndex
 from repro.graph import CSRGraph, DiGraph
+from repro.storage import (
+    PersistentGraphStore,
+    attach_snapshot,
+    ingest_edge_list,
+    recover,
+    write_snapshot,
+)
 from repro.workloads import WorkloadConfig, WorkloadTrace, generate_workload, run_workload
 
 __version__ = "1.0.0"
@@ -39,6 +46,7 @@ __all__ = [
     "Capabilities",
     "DiGraph",
     "MonteCarlo",
+    "PersistentGraphStore",
     "PowerMethod",
     "ProbeSim",
     "ProbeSimConfig",
@@ -54,6 +62,10 @@ __all__ = [
     "WorkloadConfig",
     "WorkloadTrace",
     "__version__",
+    "attach_snapshot",
     "generate_workload",
+    "ingest_edge_list",
+    "recover",
     "run_workload",
+    "write_snapshot",
 ]

@@ -21,6 +21,12 @@ Subcommands
 ``loadgen``
     Replay a generated workload trace against a running ``serve`` instance
     open-loop at a target arrival rate and print p50/p95/p99/QPS/shed-rate.
+``ingest``
+    Stream a SNAP edge list into a persistent CSR snapshot file out of
+    core (bounded memory), bit-identical to the in-memory load path.
+``recover``
+    Inspect a persistent store directory: newest valid generation, WAL
+    tail length, torn bytes, and the recovered graph's digest.
 ``stats``
     Print Table 3-style statistics for an edge-list graph.
 ``dataset``
@@ -47,6 +53,11 @@ Examples
         --methods probesim-batched --seed 7 --query-seeded
     python -m repro loadgen --dataset wiki-vote --scale tiny --port 8080 \\
         --rate 200 --ops 400 --seed 3
+    python -m repro ingest /tmp/wv.txt --out /tmp/wv.csr
+    python -m repro workload --snapshot /tmp/wv.csr --methods probesim-batched \\
+        --read-fraction 1 --executor process --workers 2 --seed 7
+    python -m repro serve --snapshot /tmp/wv.csr --port 8080 --workers 2
+    python -m repro recover /tmp/wv-store
 """
 
 from __future__ import annotations
@@ -59,6 +70,7 @@ from repro.datasets import DATASETS, load_dataset
 from repro.errors import ConfigurationError, ReproError
 from repro.eval.reporting import format_table, markdown_table, write_json_report
 from repro.graph import compute_stats, read_edge_list, write_edge_list
+from repro.storage.ingest import DEFAULT_CHUNK_EDGES
 
 METHODS = tuple(method_names())
 
@@ -199,10 +211,35 @@ def _cmd_methods(args) -> int:
 def _cmd_workload(args) -> int:
     from repro.workloads import generate_workload, run_workload
 
-    graph = read_edge_list(args.graph)
+    snapshot_handle = None
+    if args.snapshot is not None:
+        if args.graph is not None:
+            raise ConfigurationError(
+                "give a graph path or --snapshot, not both"
+            )
+        if args.shards:
+            raise ConfigurationError(
+                "--snapshot replay on the CLI is unsharded; the sharded "
+                "snapshot path is exercised through the python API"
+            )
+        if args.read_fraction < 1.0:
+            raise ConfigurationError(
+                "--snapshot serves read-only: use --read-fraction 1"
+            )
+        from repro.storage import attach_snapshot
+
+        # the trace is drawn over the mmap-attached CSR itself — the graph
+        # is never materialised in memory
+        snapshot_handle = attach_snapshot(args.snapshot)
+        trace_graph = snapshot_handle.graph()
+    elif args.graph is None:
+        raise ConfigurationError("workload needs a graph path or --snapshot")
+    else:
+        trace_graph = read_edge_list(args.graph)
+    graph = None if args.snapshot is not None else trace_graph
     methods = [name.strip() for name in args.methods.split(",") if name.strip()]
     trace = generate_workload(
-        graph,
+        trace_graph,
         num_ops=args.ops,
         read_fraction=args.read_fraction,
         zipf_s=args.zipf,
@@ -223,13 +260,22 @@ def _cmd_workload(args) -> int:
             key: value for key, value in shared.items()
             if key in keys and value is not None
         }
-    result = run_workload(
-        graph, trace, methods, configs=configs,
-        workers=args.workers, sync_every=args.sync_every,
-        executor=args.executor, cache_size=args.cache_size,
-        maintenance=args.maintenance,
-        shards=args.shards, partition=args.partition,
-    )
+    try:
+        result = run_workload(
+            graph, trace, methods, configs=configs,
+            workers=args.workers, sync_every=args.sync_every,
+            executor=args.executor, cache_size=args.cache_size,
+            maintenance=args.maintenance,
+            shards=args.shards, partition=args.partition,
+            snapshot=args.snapshot,
+        )
+    finally:
+        if snapshot_handle is not None:
+            del trace_graph
+            try:
+                snapshot_handle.close()
+            except BufferError:  # trace still views the arrays; mmap dies with it
+                pass
     sharding = (
         f", shards={args.shards} ({args.partition})" if args.shards else ""
     )
@@ -283,19 +329,42 @@ def _cmd_serve(args) -> int:
     from repro.parallel.sharded import ShardedSimRankService
     from repro.server import ServerConfig, SimRankHTTPApp
 
-    graph = _serve_graph(args)
+    persistent = args.snapshot is not None or args.store is not None
+    if args.snapshot is not None and args.store is not None:
+        raise ConfigurationError("give --snapshot or --store, not both")
+    if persistent and (args.graph is not None or args.dataset is not None):
+        raise ConfigurationError(
+            "--snapshot/--store replace the graph source; drop the graph "
+            "path and --dataset"
+        )
+    graph = None if persistent else _serve_graph(args)
+    store = None
+    if args.store is not None:
+        from repro.storage import PersistentGraphStore
+
+        store = PersistentGraphStore.open(args.store)
     methods = [name.strip() for name in args.methods.split(",") if name.strip()]
     configs = _serve_method_configs(args, methods)
     if args.shards > 0:
+        if store is not None:
+            raise ConfigurationError(
+                "--store serving is unsharded; drop --shards"
+            )
         service = ShardedSimRankService(
             graph, methods=tuple(methods), configs=configs,
             shards=args.shards, partition=args.partition,
             workers=max(args.workers, 1), cache_size=args.cache_size,
+            snapshot=args.snapshot,
         )
-    elif args.workers > 0:
+    elif args.workers > 0 or persistent:
+        # persistent sources always serve through the parallel service —
+        # with workers=0 its in-process sequential oracle stands in for
+        # the plain SimRankService
         service = ParallelSimRankService(
             graph, methods=tuple(methods), configs=configs,
-            workers=args.workers, cache_size=args.cache_size,
+            workers=max(args.workers, 1), cache_size=args.cache_size,
+            executor="process" if args.workers > 0 else "sequential",
+            snapshot=args.snapshot, store=store,
         )
     else:
         service = SimRankService(graph, methods=tuple(methods), configs=configs)
@@ -336,7 +405,11 @@ def _cmd_serve(args) -> int:
             await app.aclose()
             print("server closed", flush=True)
 
-    asyncio.run(run())
+    try:
+        asyncio.run(run())
+    finally:
+        if store is not None:
+            store.close()
     return 0
 
 
@@ -369,6 +442,44 @@ def _cmd_loadgen(args) -> int:
         path = write_json_report(args.json, report.to_dict())
         print(f"wrote JSON report to {path}")
     return 0 if report.errors == 0 else 1
+
+
+def _cmd_ingest(args) -> int:
+    from repro.storage import ingest_edge_list
+
+    stats = ingest_edge_list(
+        args.graph, args.out,
+        chunk_edges=args.chunk_edges,
+        relabel=not args.no_relabel,
+        deduplicate=not args.keep_duplicates,
+    )
+    row = {
+        "nodes": stats.nodes,
+        "edges": stats.edges,
+        "lines": stats.lines,
+        "duplicates": stats.duplicates,
+        "self_loops": stats.self_loops,
+        "spill_mb": stats.spill_bytes / 1e6,
+        "digest": stats.digest[:16],
+    }
+    print(format_table([row], title=f"ingest: {args.graph} -> {stats.path}"))
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.storage import recover
+
+    with recover(args.store, verify=not args.no_verify) as state:
+        row = {
+            "generation": state.generation,
+            "nodes": state.snapshot.header.num_nodes,
+            "edges": state.snapshot.header.num_edges,
+            "wal_tail": len(state.tail),
+            "torn_bytes": state.torn_bytes,
+            "digest": state.digest(),
+        }
+    print(format_table([row], title=f"recover: {args.store}"))
+    return 0
 
 
 def _cmd_stats(args) -> int:
@@ -413,7 +524,16 @@ def build_parser() -> argparse.ArgumentParser:
         "workload",
         help="replay a mixed query/update workload and report latency/QPS",
     )
-    workload.add_argument("graph", help="edge-list file (SNAP format, .gz ok)")
+    workload.add_argument("graph", nargs="?", default=None,
+                          help="edge-list file (SNAP format, .gz ok); or use "
+                               "--snapshot")
+    workload.add_argument("--snapshot", default=None,
+                          help="replay against an mmap-attached persistent "
+                               "snapshot (`repro ingest` output) instead of "
+                               "loading a graph file; read-only, so the "
+                               "trace must be update-free "
+                               "(--read-fraction 1) and the executor "
+                               "process or sequential")
     workload.add_argument("--methods", default="probesim-batched",
                           help="comma-separated registry names to compare")
     workload.add_argument("--ops", type=int, default=400,
@@ -485,6 +605,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve SimRank queries over HTTP (coalescing + admission control)",
     )
     _add_graph_source(serve)
+    serve.add_argument("--snapshot", default=None,
+                       help="serve read-only from a persistent snapshot: a "
+                            "`repro ingest` .csr file, or (with --shards) a "
+                            "write_shard_snapshots directory; workers mmap "
+                            "the file instead of rebuilding the graph")
+    serve.add_argument("--store", default=None,
+                       help="serve durably from a persistent store "
+                            "directory: recovers snapshot + WAL tail on "
+                            "start, write-ahead-logs every accepted update "
+                            "burst, checkpoints on compaction")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080,
                        help="bind port (0 = OS-assigned)")
@@ -560,6 +690,33 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--json", default=None,
                          help="also write the JSON report to this path")
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream an edge list into a persistent CSR snapshot (out of core)",
+    )
+    ingest.add_argument("graph", help="edge-list file (SNAP format, .gz ok)")
+    ingest.add_argument("--out", required=True,
+                        help="output snapshot path (conventionally .csr)")
+    ingest.add_argument("--chunk-edges", type=int, dest="chunk_edges",
+                        default=DEFAULT_CHUNK_EDGES,
+                        help="spill-buffer size in edges — the memory bound "
+                             "knob (any positive value gives identical output)")
+    ingest.add_argument("--no-relabel", action="store_true", dest="no_relabel",
+                        help="node ids are already dense 0..n-1; use verbatim")
+    ingest.add_argument("--keep-duplicates", action="store_true",
+                        dest="keep_duplicates",
+                        help="fail on duplicate edges instead of dropping them")
+    ingest.set_defaults(func=_cmd_ingest)
+
+    recover = sub.add_parser(
+        "recover",
+        help="inspect a store directory: newest valid generation + WAL tail",
+    )
+    recover.add_argument("store", help="persistent store directory")
+    recover.add_argument("--no-verify", action="store_true", dest="no_verify",
+                         help="skip the snapshot payload digest check")
+    recover.set_defaults(func=_cmd_recover)
 
     stats = sub.add_parser("stats", help="print graph statistics")
     stats.add_argument("graph", help="edge-list file")

@@ -27,10 +27,29 @@ from repro.api.estimator import Capabilities, SimRankEstimator
 from repro.core.config import ProbeSimConfig
 from repro.core.engine import ProbeSim, QueryStats
 from repro.core.results import SimRankResult
-from repro.core.tree import ReachabilityTree
+from repro.core.tree import ReachabilityTree, TreeNode
 from repro.graph.dynamic import EdgeUpdate
 from repro.utils.sizing import deep_sizeof
 from repro.utils.timer import Timer
+
+
+def _serialize_node(node: TreeNode) -> tuple:
+    """``(graph_node, weight, children)`` nested tuples, insertion-ordered."""
+    return (
+        node.node,
+        node.weight,
+        tuple(_serialize_node(child) for child in node.children.values()),
+    )
+
+
+def _deserialize_node(packed: tuple) -> TreeNode:
+    """Rebuild a :func:`_serialize_node` tree, preserving child order."""
+    graph_node, weight, children = packed
+    node = TreeNode(node=int(graph_node), weight=int(weight))
+    for child in children:
+        rebuilt = _deserialize_node(child)
+        node.children[rebuilt.node] = rebuilt
+    return node
 
 
 class WalkIndex(SimRankEstimator):
@@ -178,6 +197,52 @@ class WalkIndex(SimRankEstimator):
 
     @property
     def num_cached(self) -> int:
+        return len(self._trees)
+
+    # ------------------------------------------------------------------ #
+    # state export / restore (the storage tier's warm-start sidecar)
+    # ------------------------------------------------------------------ #
+
+    def export_state(self) -> dict:
+        """The cached trees + incidence map as a plain serialisable dict.
+
+        Trees serialise in DFS pre-order with children in *insertion*
+        order, and :meth:`restore_state` rebuilds them in that order — so a
+        restored tree probes its prefixes in exactly the original sequence
+        and cached queries stay bit-identical across a save/restore cycle.
+        Used by :mod:`repro.storage.sidecar` to warm-start the index from a
+        file instead of re-sampling every walk at restart.
+        """
+        return {
+            "trees": {
+                query: _serialize_node(tree.root)
+                for query, tree in self._trees.items()
+            },
+            "touched": {
+                node: sorted(queries)
+                for node, queries in self._touched.items() if queries
+            },
+        }
+
+    def restore_state(self, state: dict) -> int:
+        """Replace the cache with a previously exported state.
+
+        Returns the number of restored trees.  Hit/miss/eviction counters
+        are untouched: a warm start is not a query.  The caller is
+        responsible for only restoring state exported against the *same*
+        graph and configuration (the sidecar file carries both digests and
+        refuses mismatches).
+        """
+        trees: dict[int, ReachabilityTree] = {}
+        for query, packed in state["trees"].items():
+            tree = ReachabilityTree(root=int(query))
+            tree.root = _deserialize_node(packed)
+            trees[int(query)] = tree
+        self._trees = trees
+        self._touched = {
+            int(node): set(queries)
+            for node, queries in state["touched"].items()
+        }
         return len(self._trees)
 
     # ------------------------------------------------------------------ #

@@ -26,6 +26,8 @@ The snapshot also precomputes the two sparse operators used throughout:
 
 from __future__ import annotations
 
+from hashlib import blake2b
+
 import numpy as np
 from scipy import sparse
 
@@ -36,13 +38,33 @@ from repro.graph.digraph import DiGraph
 #: The 8-byte ``indptr`` arrays come first so every array starts at an
 #: 8-byte-aligned offset when the fields are packed back to back into one
 #: flat buffer (the layout :mod:`repro.parallel.shm` maps into
-#: ``multiprocessing.shared_memory``).
+#: ``multiprocessing.shared_memory`` and :mod:`repro.storage.snapshot`
+#: maps into an on-disk snapshot file).
 SHM_LAYOUT = (
     ("out_indptr", np.int64),
     ("in_indptr", np.int64),
     ("out_indices", np.int32),
     ("in_indices", np.int32),
 )
+
+
+def payload_layout(num_nodes: int, num_edges: int):
+    """``([(field, dtype, offset, count)], total_bytes)`` for one packed payload.
+
+    The single source of truth for how a CSR snapshot's adjacency arrays
+    pack back to back into one flat buffer: the shared-memory segments of
+    :mod:`repro.parallel.shm` and the mmap-backed snapshot files of
+    :mod:`repro.storage.snapshot` both follow it, which is what lets either
+    side be reconstructed zero-copy from the other's bytes.  ``total_bytes``
+    is at least 1 (``SharedMemory`` refuses zero-byte segments).
+    """
+    layout = []
+    offset = 0
+    for field, dtype in SHM_LAYOUT:
+        count = num_nodes + 1 if field.endswith("indptr") else num_edges
+        layout.append((field, np.dtype(dtype), offset, count))
+        offset += int(np.dtype(dtype).itemsize) * count
+    return layout, max(offset, 1)
 
 
 class CSRGraph:
@@ -261,6 +283,26 @@ class CSRGraph:
             + self.in_indptr.nbytes
             + self.in_indices.nbytes
         )
+
+    def digest(self) -> str:
+        """Canonical 128-bit hex digest of the adjacency payload.
+
+        Hashes ``(num_nodes, num_edges)`` plus every ``SHM_LAYOUT`` array in
+        canonical dtype and order, so two snapshots digest equal exactly when
+        their CSR bytes are identical — regardless of whether the arrays live
+        in process memory, a shared-memory segment, or an mmap-backed
+        snapshot file.  This is the bit-identity witness the storage tier's
+        crash-recovery contract asserts on.
+        """
+        hasher = blake2b(digest_size=16)
+        hasher.update(
+            np.array([self.num_nodes, self.num_edges], dtype=np.int64).tobytes()
+        )
+        for field, dtype in SHM_LAYOUT:
+            hasher.update(
+                np.ascontiguousarray(getattr(self, field), dtype=dtype).tobytes()
+            )
+        return hasher.hexdigest()
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:

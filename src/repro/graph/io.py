@@ -45,7 +45,10 @@ def read_edge_list(
     if not path.exists():
         raise DatasetError(f"edge list not found: {path}")
 
-    edges: list[tuple[int, int]] = []
+    # Edges stream straight into the graph: no intermediate edge list, no
+    # separate seen-set — the graph's own adjacency answers the duplicate
+    # check in O(1), so peak memory is the final graph plus one line.
+    graph = DiGraph(0)
     label_of: dict[int, int] = {}
 
     def intern(raw: int) -> int:
@@ -53,11 +56,10 @@ def read_edge_list(
             return raw
         node = label_of.get(raw)
         if node is None:
-            node = len(label_of)
+            node = graph.add_node()
             label_of[raw] = node
         return node
 
-    seen: set[tuple[int, int]] = set()
     with _open_text(path, "r") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
@@ -75,16 +77,17 @@ def read_edge_list(
                 if drop_self_loops:
                     continue
                 raise DatasetError(f"{path}:{lineno}: self-loop on node {raw_s}")
-            key = (source, target)
-            if key in seen:
+            if not relabel:
+                # verbatim ids: the node range grows to cover kept edges
+                # only, matching the old "max id over kept edges" rule
+                while graph.num_nodes <= max(source, target):
+                    graph.add_node()
+            if graph.has_edge(source, target):
                 if deduplicate:
                     continue
                 raise DatasetError(f"{path}:{lineno}: duplicate edge {raw_s} -> {raw_t}")
-            seen.add(key)
-            edges.append(key)
-
-    num_nodes = len(label_of) if relabel else (1 + max((max(e) for e in edges), default=-1))
-    return DiGraph.from_edges(edges, num_nodes=num_nodes)
+            graph.add_edge(source, target)
+    return graph
 
 
 def write_edge_list(graph: DiGraph, path: str | Path, header: str | None = None) -> None:

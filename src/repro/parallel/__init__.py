@@ -27,9 +27,16 @@ keeping the graph physically shared:
     ``P`` per-shard worker groups (one shared graph segment, delta log,
     and cache each), same service surface, shard-parallel batch fan-out.
 
+Both services can also serve straight off the persistent tier
+(:mod:`repro.storage`): ``snapshot=`` mmap-attaches a CSR snapshot file
+(or a :func:`~repro.parallel.sharded.write_shard_snapshots` directory)
+instead of rebuilding shared segments, and ``store=`` (unsharded) makes
+the service durable — every accepted update burst is write-ahead-logged
+and each compaction checkpoints a fresh snapshot generation.
+
 Entry points: ``repro workload --executor process [--shards P]`` and
-``repro serve --shards P`` on the CLI, plus
-``benchmarks/bench_parallel_service.py`` and
+``repro serve --shards P`` on the CLI (``--snapshot`` / ``--store`` for
+the persistent paths), plus ``benchmarks/bench_parallel_service.py`` and
 ``benchmarks/bench_sharded_service.py`` in the harness.
 """
 
@@ -43,7 +50,12 @@ from repro.parallel.partition import (
     shard_subgraph,
 )
 from repro.parallel.pool import ParallelSimRankService, derive_replica_config
-from repro.parallel.sharded import ShardedCacheView, ShardedSimRankService
+from repro.parallel.sharded import (
+    ShardedCacheView,
+    ShardedSimRankService,
+    load_shard_partition,
+    write_shard_snapshots,
+)
 from repro.parallel.shm import SharedCSRGraph, ShmGraphDescriptor
 
 __all__ = [
@@ -59,6 +71,8 @@ __all__ = [
     "degree_partition",
     "derive_replica_config",
     "hash_partition",
+    "load_shard_partition",
     "make_partition",
     "shard_subgraph",
+    "write_shard_snapshots",
 ]

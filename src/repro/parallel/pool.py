@@ -95,6 +95,7 @@ from repro.graph.digraph import DiGraph
 from repro.graph.dynamic import EdgeUpdate, apply_update, touched_neighborhood
 from repro.parallel.cache import ResultCache
 from repro.parallel.shm import SharedCSRGraph
+from repro.storage.snapshot import MappedSnapshot, attach_snapshot
 from repro.utils.validation import check_positive_int
 
 __all__ = ["ParallelSimRankService", "WorkerCrashed", "derive_replica_config"]
@@ -390,7 +391,24 @@ class ParallelSimRankService(QueryServiceBase):
     ----------
     graph:
         A mutable :class:`DiGraph` (enables :meth:`apply_edges`) or a frozen
-        :class:`CSRGraph` (read-only service).
+        :class:`CSRGraph` (read-only service).  May be ``None`` when the
+        graph comes from ``snapshot`` or ``store`` instead.
+    snapshot:
+        Path to a :mod:`repro.storage.snapshot` file to serve *read-only*.
+        The coordinator never rebuilds the CSR: the process executor
+        publishes the snapshot path as epoch 0 and every worker ``mmap``\\ s
+        the file (one page-cache copy machine-wide); the sequential
+        executor maps it in-process.  Mutually exclusive with ``graph`` and
+        ``store``.
+    store:
+        An open :class:`~repro.storage.store.PersistentGraphStore` making
+        this service *durable*: the graph is recovered from the store
+        (``graph`` must be ``None``), every update burst is written ahead
+        to the store's WAL before any worker sees it, and each rebuild sync
+        (compaction) checkpoints a fresh snapshot generation.  After a
+        crash, :func:`repro.storage.store.recover` lands exactly on the
+        pre- or post-burst graph — never between.  The caller keeps
+        ownership of the store handle (:meth:`close` does not close it).
     methods:
         Registry names to mount; each worker builds one replica per method.
         Methods whose capabilities declare ``parallel_safe=False`` are
@@ -441,7 +459,7 @@ class ParallelSimRankService(QueryServiceBase):
 
     def __init__(
         self,
-        graph,
+        graph=None,
         methods: Sequence[str] = ("probesim",),
         configs: dict[str, dict] | None = None,
         default_method: str | None = None,
@@ -455,6 +473,8 @@ class ParallelSimRankService(QueryServiceBase):
         allow_unsafe: bool = False,
         rpc_timeout: float = 300.0,
         history_limit: int = 10_000,
+        snapshot=None,
+        store=None,
     ) -> None:
         check_positive_int("workers", workers)
         check_positive_int("history_limit", history_limit)
@@ -463,6 +483,19 @@ class ParallelSimRankService(QueryServiceBase):
             raise ConfigurationError(
                 f"executor must be one of {EXECUTORS}, got {executor!r}"
             )
+        if snapshot is not None and (graph is not None or store is not None):
+            raise ConfigurationError(
+                "snapshot= serves a frozen file; pass it without graph/store"
+            )
+        if store is not None and graph is not None:
+            raise ConfigurationError(
+                "pass either graph or store=, not both — a durable service "
+                "recovers its graph from the store"
+            )
+        if graph is None and snapshot is None and store is None:
+            raise ConfigurationError("need one of graph, snapshot=, or store=")
+        if store is not None:
+            graph = store.materialize()
         if maintenance not in MAINTENANCE_MODES:
             raise ConfigurationError(
                 f"maintenance must be one of {MAINTENANCE_MODES}, "
@@ -527,23 +560,40 @@ class ParallelSimRankService(QueryServiceBase):
         self._deltas_since_epoch = 0
         self._pending_updates: list[EdgeUpdate] = []
         self._touched_pending: set[int] = set()
+        self._store = store
+        self._store_logged = 0  # pending updates already in the store's WAL
+        self._snapshot_handle: MappedSnapshot | None = None
         self._shm: SharedCSRGraph | None = None
         self._csr: CSRGraph | None = None
         self._workers: list = []
         try:
-            csr = as_csr(graph)
-            self._num_nodes = csr.num_nodes
-            if executor == "process":
-                self._shm = SharedCSRGraph.create(
-                    csr,
-                    delta_capacity=(
-                        self.delta_log_capacity
-                        if self._maintenance == "delta" else 0
-                    ),
-                )
-                self._epoch = self._shm.current_epoch()
+            if snapshot is not None:
+                # warm attach: the CSR is never rebuilt, the snapshot file
+                # itself backs every mapping (coordinator and workers alike)
+                if executor == "process":
+                    self._shm = SharedCSRGraph.from_snapshot(snapshot)
+                    self._epoch = self._shm.current_epoch()
+                    self._num_nodes = self._shm.descriptor.num_nodes
+                    self._graph = self._shm.graph
+                else:
+                    self._snapshot_handle = attach_snapshot(snapshot)
+                    self._csr = self._snapshot_handle.graph()
+                    self._num_nodes = self._csr.num_nodes
+                    self._graph = self._csr
             else:
-                self._csr = csr
+                csr = as_csr(graph)
+                self._num_nodes = csr.num_nodes
+                if executor == "process":
+                    self._shm = SharedCSRGraph.create(
+                        csr,
+                        delta_capacity=(
+                            self.delta_log_capacity
+                            if self._maintenance == "delta" else 0
+                        ),
+                    )
+                    self._epoch = self._shm.current_epoch()
+                else:
+                    self._csr = csr
             if start_method is None:
                 available = multiprocessing.get_all_start_methods()
                 start_method = "fork" if "fork" in available else "spawn"
@@ -955,6 +1005,14 @@ class ParallelSimRankService(QueryServiceBase):
             return
         started = time.perf_counter()
         pending = tuple(self._pending_updates)
+        if self._store is not None and len(pending) > self._store_logged:
+            # write-ahead: the burst is durable before any worker serves it,
+            # so crash recovery lands on the pre- or post-burst graph, never
+            # between.  Only the not-yet-logged suffix is appended — a sync
+            # retried after a failed dispatch must not duplicate records
+            # (replaying a duplicate insert would not apply).
+            self._store.log(pending[self._store_logged:])
+            self._store_logged = len(pending)
         # the burst must be non-empty for the delta path: a stale graph
         # with nothing pending only occurs while recovering from an earlier
         # failed sync, and recovery is exactly what the rebuild provides
@@ -989,6 +1047,7 @@ class ParallelSimRankService(QueryServiceBase):
         # pending record and the staleness flag
         self._pending_updates = []
         self._touched_pending = set()
+        self._store_logged = 0
         self._graph_stale = False
         elapsed = time.perf_counter() - started
         with self._stats_lock:
@@ -1035,6 +1094,12 @@ class ParallelSimRankService(QueryServiceBase):
         if self._shm is not None:
             self._shm.release_epoch(old_epoch)
         self.cache.invalidate_older(self._epoch)
+        if self._store is not None:
+            # compaction checkpoints: the fresh snapshot folds the WAL in
+            # and the store rotates to an empty next-generation log.  Either
+            # side of a crash here recovers to this same graph — the old
+            # snapshot + full WAL before the rename, the new snapshot after.
+            self._store.checkpoint(csr)
         with self._stats_lock:
             self.stats.epochs += 1
 
@@ -1066,6 +1131,14 @@ class ParallelSimRankService(QueryServiceBase):
         if self._shm is not None:
             self._shm.close()
             self._shm = None
+        if self._snapshot_handle is not None:
+            self._graph = None
+            self._csr = None
+            try:
+                self._snapshot_handle.close()
+            except BufferError:  # a caller still holds graph views
+                pass
+            self._snapshot_handle = None
 
     # __enter__/__exit__ come from QueryServiceBase: `with` guarantees close().
 

@@ -46,12 +46,17 @@ bit-comparable across ``P``.
 
 from __future__ import annotations
 
+import json
+import os
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.api.service import QueryServiceBase, ServiceStats
 from repro.errors import ConfigurationError, QueryError
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, as_csr
 from repro.graph.digraph import DiGraph
 from repro.graph.dynamic import EdgeUpdate, apply_update
 from repro.parallel.partition import (
@@ -60,9 +65,116 @@ from repro.parallel.partition import (
     shard_subgraph,
 )
 from repro.parallel.pool import ParallelSimRankService
+from repro.storage.snapshot import (
+    SnapshotError,
+    fsync_directory,
+    read_snapshot_header,
+    write_snapshot,
+)
 from repro.utils.validation import check_positive_int
 
-__all__ = ["ShardedCacheView", "ShardedSimRankService"]
+__all__ = [
+    "ShardedCacheView",
+    "ShardedSimRankService",
+    "load_shard_partition",
+    "shard_snapshot_path",
+    "write_shard_snapshots",
+]
+
+#: routing manifest file inside a shard-snapshot directory.
+SHARD_MANIFEST = "shards.json"
+#: node-ownership array file inside a shard-snapshot directory.
+SHARD_OWNER_FILE = "partition.npy"
+
+
+def shard_snapshot_path(directory: str | Path, shard: int) -> Path:
+    """The snapshot file of one shard inside a shard-snapshot directory."""
+    return Path(directory) / f"shard-{shard:02d}.csr"
+
+
+def write_shard_snapshots(
+    graph,
+    directory: str | Path,
+    shards: int,
+    partition: "str | Partition" = "hash",
+) -> Partition:
+    """Cut ``graph`` into per-shard snapshot files plus a routing manifest.
+
+    Writes one :mod:`repro.storage.snapshot` file per shard (the subgraph of
+    edges incident to the shard's owned nodes — exactly what
+    :class:`ShardedSimRankService` serves), the node-ownership array, and a
+    ``shards.json`` manifest.  The manifest is written last, so a directory
+    that has one is complete.  A sharded service then warm-attaches the
+    whole tier with ``snapshot=directory`` — no partitioning and no
+    per-shard CSR cuts at startup.  Returns the partition used.
+    """
+    check_positive_int("shards", shards)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if isinstance(partition, Partition):
+        if partition.num_shards != shards:
+            raise ConfigurationError(
+                f"partition has {partition.num_shards} shards but "
+                f"{shards} were requested"
+            )
+    else:
+        partition = make_partition(graph, shards, partition)
+    if partition.num_nodes != graph.num_nodes:
+        raise ConfigurationError(
+            f"partition covers {partition.num_nodes} nodes but the graph "
+            f"has {graph.num_nodes}"
+        )
+    for shard in range(partition.num_shards):
+        sub = CSRGraph.from_digraph(shard_subgraph(graph, partition, shard))
+        write_snapshot(sub, shard_snapshot_path(directory, shard))
+    np.save(directory / SHARD_OWNER_FILE, np.asarray(partition.owner))
+    manifest = {
+        "shards": partition.num_shards,
+        "strategy": partition.strategy,
+        "num_nodes": partition.num_nodes,
+        "graph_digest": as_csr(graph).digest(),
+    }
+    tmp = directory / f".{SHARD_MANIFEST}.tmp-{os.getpid()}"
+    try:
+        tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+        os.replace(tmp, directory / SHARD_MANIFEST)
+        fsync_directory(directory)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return partition
+
+
+def load_shard_partition(directory: str | Path) -> Partition:
+    """Read the routing partition of a shard-snapshot directory.
+
+    Validates the manifest against the ownership array and checks every
+    shard's snapshot header (cheap — payloads are not read), so a torn or
+    partially written directory is rejected before any service spins up.
+    """
+    directory = Path(directory)
+    manifest_file = directory / SHARD_MANIFEST
+    if not manifest_file.is_file():
+        raise SnapshotError(
+            f"{directory}: not a shard-snapshot directory (no {SHARD_MANIFEST})"
+        )
+    manifest = json.loads(manifest_file.read_text())
+    owner = np.load(directory / SHARD_OWNER_FILE)
+    partition = Partition(owner, int(manifest["shards"]), str(manifest["strategy"]))
+    if partition.num_nodes != int(manifest["num_nodes"]):
+        raise SnapshotError(
+            f"{directory}: ownership array covers {partition.num_nodes} "
+            f"nodes, manifest says {manifest['num_nodes']}"
+        )
+    for shard in range(partition.num_shards):
+        header = read_snapshot_header(shard_snapshot_path(directory, shard))
+        if header.num_nodes != partition.num_nodes:
+            raise SnapshotError(
+                f"{shard_snapshot_path(directory, shard)}: shard snapshot "
+                f"has {header.num_nodes} nodes, partition covers "
+                f"{partition.num_nodes}"
+            )
+    return partition
 
 
 class ShardedCacheView:
@@ -131,9 +243,18 @@ class ShardedSimRankService(QueryServiceBase):
         frozen :class:`CSRGraph` (read-only service).  Each shard serves
         its own subgraph copy; a mutable input graph is kept current as
         the router applies updates, so ``service.graph`` always shows the
-        global state.
+        global state.  May be ``None`` when ``snapshot`` is given.
+    snapshot:
+        Path to a directory written by :func:`write_shard_snapshots`.  The
+        routing partition and every shard's subgraph come from the
+        directory's files — shard services ``mmap`` their snapshot instead
+        of re-cutting CSR subgraphs — and the tier is read-only.  Mutually
+        exclusive with ``graph``; ``shards`` / ``partition`` default to
+        the directory's manifest (a conflicting explicit value is an
+        error).
     shards:
-        Number of shards ``P`` (positive).  Each shard owns one shared
+        Number of shards ``P`` (positive; default 2, or the manifest's
+        count when serving from ``snapshot``).  Each shard owns one shared
         graph segment and one worker group, so the total worker count is
         ``shards * workers``.
     partition:
@@ -157,11 +278,11 @@ class ShardedSimRankService(QueryServiceBase):
 
     def __init__(
         self,
-        graph,
+        graph=None,
         methods: Sequence[str] = ("probesim",),
         configs: dict[str, dict] | None = None,
         default_method: str | None = None,
-        shards: int = 2,
+        shards: int | None = None,
         partition: "str | Partition" = "hash",
         workers: int = 2,
         cache_size: int = 0,
@@ -173,7 +294,31 @@ class ShardedSimRankService(QueryServiceBase):
         allow_unsafe: bool = False,
         rpc_timeout: float = 300.0,
         history_limit: int = 10_000,
+        snapshot=None,
     ) -> None:
+        snapshot_dir = Path(snapshot) if snapshot is not None else None
+        if snapshot_dir is not None:
+            if graph is not None:
+                raise ConfigurationError(
+                    "snapshot= serves frozen shard files; pass it without graph"
+                )
+            if isinstance(partition, Partition):
+                raise ConfigurationError(
+                    "snapshot= directories carry their own partition; do not "
+                    "pass a Partition object too"
+                )
+            stored = load_shard_partition(snapshot_dir)
+            if shards is not None and int(shards) != stored.num_shards:
+                raise ConfigurationError(
+                    f"snapshot directory holds {stored.num_shards} shards "
+                    f"but {shards} were requested"
+                )
+            shards = stored.num_shards
+            partition = stored
+        elif graph is None:
+            raise ConfigurationError("need one of graph or snapshot=")
+        elif shards is None:
+            shards = 2
         check_positive_int("shards", shards)
         super().__init__(graph, default_method=default_method)
         self.shards = int(shards)
@@ -181,7 +326,6 @@ class ShardedSimRankService(QueryServiceBase):
         self.executor = executor
         self.auto_sync = auto_sync
         self._digraph = graph if isinstance(graph, DiGraph) else None
-        self._num_nodes = graph.num_nodes
         if isinstance(partition, Partition):
             if partition.num_shards != self.shards:
                 raise ConfigurationError(
@@ -191,6 +335,9 @@ class ShardedSimRankService(QueryServiceBase):
             self.partition = partition
         else:
             self.partition = make_partition(graph, self.shards, partition)
+        self._num_nodes = (
+            graph.num_nodes if graph is not None else self.partition.num_nodes
+        )
         if self.partition.num_nodes != self._num_nodes:
             raise ConfigurationError(
                 f"partition covers {self.partition.num_nodes} nodes but "
@@ -204,10 +351,15 @@ class ShardedSimRankService(QueryServiceBase):
         self._fanout: ThreadPoolExecutor | None = None
         try:
             for shard in range(self.shards):
-                sub = shard_subgraph(graph, self.partition, shard)
-                if self._digraph is None:
-                    # frozen input: shards must be read-only too
-                    sub = CSRGraph.from_digraph(sub)
+                if snapshot_dir is not None:
+                    sub = None
+                    shard_snapshot = shard_snapshot_path(snapshot_dir, shard)
+                else:
+                    shard_snapshot = None
+                    sub = shard_subgraph(graph, self.partition, shard)
+                    if self._digraph is None:
+                        # frozen input: shards must be read-only too
+                        sub = CSRGraph.from_digraph(sub)
                 self._services.append(ParallelSimRankService(
                     sub,
                     methods=methods,
@@ -223,6 +375,7 @@ class ShardedSimRankService(QueryServiceBase):
                     allow_unsafe=allow_unsafe,
                     rpc_timeout=rpc_timeout,
                     history_limit=history_limit,
+                    snapshot=shard_snapshot,
                 ))
             self._default = self._services[0]._default
             if executor == "process" and self.shards > 1:

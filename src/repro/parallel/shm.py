@@ -65,8 +65,9 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.errors import GraphError
-from repro.graph.csr import SHM_LAYOUT, CSRGraph, as_csr
+from repro.graph.csr import CSRGraph, as_csr, payload_layout
 from repro.graph.dynamic import EdgeUpdate
+from repro.storage.snapshot import MappedSnapshot
 
 __all__ = ["ShmGraphDescriptor", "SharedCSRGraph"]
 
@@ -79,14 +80,14 @@ _DELTA_KINDS = ("insert", "delete")
 
 
 def _segment_layout(num_nodes: int, num_edges: int):
-    """``[(field, dtype, offset, count)]`` for one generation's data segment."""
-    layout = []
-    offset = 0
-    for field, dtype in SHM_LAYOUT:
-        count = num_nodes + 1 if field.endswith("indptr") else num_edges
-        layout.append((field, np.dtype(dtype), offset, count))
-        offset += int(np.dtype(dtype).itemsize) * count
-    return layout, max(offset, 1)  # SharedMemory refuses zero-byte segments
+    """``[(field, dtype, offset, count)]`` for one generation's data segment.
+
+    Identical to the on-disk snapshot payload by construction — both sides
+    delegate to :func:`repro.graph.csr.payload_layout`, which is what lets a
+    :class:`~repro.storage.snapshot.MappedSnapshot` stand in for a
+    shared-memory segment byte for byte.
+    """
+    return payload_layout(num_nodes, num_edges)
 
 
 def _close_segment(segment: shared_memory.SharedMemory) -> None:
@@ -116,7 +117,11 @@ class ShmGraphDescriptor:
     worker that learns a newer epoch (from the control counter) can attach
     the matching segment without any further coordination.
     ``delta_capacity > 0`` tells the worker to also map the (per-base,
-    generation-independent) edge-delta log segment.
+    generation-independent) edge-delta log segment.  A non-``None``
+    ``snapshot_path`` means this generation's payload lives in an on-disk
+    snapshot file rather than a shared-memory segment: workers ``mmap`` the
+    file instead of attaching ``data_name`` (the kernel page cache then
+    plays the role of the shm segment — one physical copy machine-wide).
     """
 
     base_name: str
@@ -124,6 +129,7 @@ class ShmGraphDescriptor:
     num_nodes: int
     num_edges: int
     delta_capacity: int = 0
+    snapshot_path: str | None = None
 
     @property
     def data_name(self) -> str:
@@ -201,6 +207,56 @@ class SharedCSRGraph:
                 shared._segments["dlog"] = dlog
                 shared._map_delta_log(dlog)
             shared.publish(graph)
+        except BaseException:
+            shared.close()
+            raise
+        return shared
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path,
+        base_name: str | None = None,
+        delta_capacity: int = 0,
+    ) -> "SharedCSRGraph":
+        """Serve a graph straight from an on-disk snapshot file as epoch 0.
+
+        The warm-attach path of the storage tier: instead of copying the CSR
+        payload into a fresh shared-memory segment (O(m) writes before the
+        first query), the coordinator ``mmap``\\ s the snapshot and publishes
+        a descriptor carrying its path — workers map the same file, and the
+        OS page cache keeps one physical copy no matter how many processes
+        serve from it, surviving service restarts.  Mutations still work:
+        the first :meth:`publish` (compaction) writes a regular shm
+        generation and retires the mapping, and ``delta_capacity`` carries
+        small bursts exactly as with :meth:`create`.
+        """
+        base_name = base_name or f"psim-{os.getpid()}-{secrets.token_hex(4)}"
+        control = shared_memory.SharedMemory(
+            name=base_name, create=True, size=_CONTROL_BYTES
+        )
+        shared = cls(base_name, control, owner=True)
+        try:
+            shared._control_view[:] = (-1, 0)
+            if delta_capacity < 0:
+                raise GraphError(
+                    f"delta_capacity must be >= 0, got {delta_capacity}"
+                )
+            if delta_capacity:
+                shared.delta_capacity = int(delta_capacity)
+                dlog = shared_memory.SharedMemory(
+                    name=f"{base_name}-dlog", create=True,
+                    size=delta_capacity * _DELTA_FIELDS * 8,
+                )
+                shared._segments["dlog"] = dlog
+                shared._map_delta_log(dlog)
+            mapped = MappedSnapshot.open(path)
+            shared._segments[0] = mapped
+            shared._descriptor = ShmGraphDescriptor(
+                base_name, 0, mapped.header.num_nodes, mapped.header.num_edges,
+                shared.delta_capacity, snapshot_path=str(path),
+            )
+            shared._control_view[0] = 0
         except BaseException:
             shared.close()
             raise
@@ -291,7 +347,10 @@ class SharedCSRGraph:
         self._map_data(descriptor)
 
     def _map_data(self, descriptor: ShmGraphDescriptor) -> None:
-        segment = shared_memory.SharedMemory(name=descriptor.data_name)
+        if descriptor.snapshot_path is not None:
+            segment = MappedSnapshot.open(descriptor.snapshot_path)
+        else:
+            segment = shared_memory.SharedMemory(name=descriptor.data_name)
         self._data = segment
         self._descriptor = descriptor
         self._graph = self._view_graph(segment, descriptor)

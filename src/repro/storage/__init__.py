@@ -1,0 +1,70 @@
+"""Persistent storage tier: out-of-core ingest, mmap serving, crash recovery.
+
+Every other layer serves from RAM rebuilt at startup; this package is the
+disk story underneath them, log-structured the way LogBase lays it out —
+snapshot periodically, log mutations, recover by snapshot + log replay:
+
+:mod:`~repro.storage.snapshot`
+    Versioned CSR snapshot files whose payload bytes match the
+    shared-memory layout, so serving attaches them zero-copy via ``mmap``
+    (:func:`attach_snapshot`) instead of rebuilding arrays.
+:mod:`~repro.storage.ingest`
+    :func:`ingest_edge_list` — a streaming SNAP-format ingester that
+    builds the snapshot out of core in bounded memory (two-pass counting
+    sort spilled through fixed-size chunks), bit-identical to the
+    in-memory ``read_edge_list`` path.
+:mod:`~repro.storage.wal`
+    :class:`WriteAheadLog` — CRC-framed append-only edge-update records;
+    torn tails from a killed writer are detected and dropped, never
+    replayed.
+:mod:`~repro.storage.store`
+    :class:`PersistentGraphStore` (write-ahead logging + checkpoint
+    rotation) and :func:`recover` (newest valid snapshot + WAL-tail
+    replay, digest-verified).
+:mod:`~repro.storage.sidecar`
+    Walk-cache sidecar files that warm-start the
+    :class:`~repro.extensions.WalkIndex` so a restart skips re-sampling.
+
+Entry points: ``repro ingest`` / ``repro recover`` / ``repro serve
+--snapshot`` on the CLI, ``snapshot=`` / ``store=`` on the parallel
+services, and ``benchmarks/bench_storage.py`` in the harness.
+"""
+
+from repro.storage.ingest import IngestStats, ingest_edge_list
+from repro.storage.sidecar import SidecarError, load_walk_cache, save_walk_cache
+from repro.storage.snapshot import (
+    MappedSnapshot,
+    SnapshotError,
+    SnapshotHeader,
+    attach_snapshot,
+    read_snapshot_header,
+    write_snapshot,
+)
+from repro.storage.store import (
+    PersistentGraphStore,
+    RecoveredGraph,
+    StoreError,
+    recover,
+)
+from repro.storage.wal import WalError, WalTail, WriteAheadLog
+
+__all__ = [
+    "IngestStats",
+    "MappedSnapshot",
+    "PersistentGraphStore",
+    "RecoveredGraph",
+    "SidecarError",
+    "SnapshotError",
+    "SnapshotHeader",
+    "StoreError",
+    "WalError",
+    "WalTail",
+    "WriteAheadLog",
+    "attach_snapshot",
+    "ingest_edge_list",
+    "load_walk_cache",
+    "read_snapshot_header",
+    "recover",
+    "save_walk_cache",
+    "write_snapshot",
+]

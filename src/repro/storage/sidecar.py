@@ -1,0 +1,124 @@
+"""Walk-cache sidecar files: warm-start the WalkIndex across restarts.
+
+The :class:`~repro.extensions.walk_index.WalkIndex` pays its cost up front —
+sampling ``nr`` √c-walks per hot query node and folding them into
+reachability trees.  After a restart that cache is gone and every hot query
+re-pays the build.  A *sidecar* file freezes the cache next to the graph
+snapshot it was sampled against, so a restarted service restores the trees
+in O(cache size) and serves its first hot query as a cache hit.
+
+The file is framed like every other storage artifact (magic, version,
+CRC32 over the payload) and additionally pins **two digests**: the CSR
+digest of the graph the walks were sampled on, and a signature of the
+ProbeSim configuration.  :func:`load_walk_cache` refuses a sidecar whose
+digests do not match the index it is warming — a stale cache is silently
+worthless at best and wrong at worst, so mismatch is an error, not a
+degraded load.  Payload serialisation is :mod:`pickle` of plain ints /
+tuples / dicts only (the export format of
+:meth:`~repro.extensions.walk_index.WalkIndex.export_state`).
+
+A sidecar is always *optional* state: crash recovery never requires one,
+and deleting it costs only re-sampling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+import zlib
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.graph.csr import as_csr
+
+__all__ = ["SidecarError", "load_walk_cache", "save_walk_cache"]
+
+_MAGIC = b"RWIX"
+_VERSION = 1
+_HEADER_STRUCT = struct.Struct("<4sI16s16sII")  # magic, ver, 2 digests, crc, len
+
+
+class SidecarError(ReproError):
+    """The sidecar file is torn, corrupt, or pinned to a different state."""
+
+
+def _config_signature(config) -> bytes:
+    """16-byte digest of the engine configuration the walks depend on."""
+    return hashlib.blake2b(repr(config).encode(), digest_size=16).digest()
+
+
+def save_walk_cache(index, path: str | Path) -> int:
+    """Freeze ``index``'s cached trees to ``path`` (atomic write).
+
+    Returns the number of trees saved.  The file pins the index's current
+    graph digest and config signature; save after warming, before the
+    graph moves on.
+    """
+    path = Path(path)
+    state = index.export_state()
+    payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    graph_digest = bytes.fromhex(as_csr(index.engine.graph).digest())
+    header = _HEADER_STRUCT.pack(
+        _MAGIC,
+        _VERSION,
+        graph_digest,
+        _config_signature(index.config),
+        zlib.crc32(payload) & 0xFFFFFFFF,
+        len(payload),
+    )
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(header)
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return len(state["trees"])
+
+
+def load_walk_cache(index, path: str | Path) -> int:
+    """Warm ``index`` from a sidecar file; returns the restored tree count.
+
+    Raises :class:`SidecarError` when the file is torn (bad magic/CRC/
+    length) or was saved against a different graph or configuration —
+    restoring such a cache would serve answers sampled from the wrong
+    distribution.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except FileNotFoundError:
+        raise SidecarError(f"walk-cache sidecar not found: {path}") from None
+    if len(raw) < _HEADER_STRUCT.size:
+        raise SidecarError(f"{path}: truncated sidecar header")
+    magic, version, graph_digest, config_sig, crc, length = _HEADER_STRUCT.unpack(
+        raw[: _HEADER_STRUCT.size]
+    )
+    if magic != _MAGIC:
+        raise SidecarError(f"{path}: not a walk-cache sidecar (magic {magic!r})")
+    if version != _VERSION:
+        raise SidecarError(
+            f"{path}: sidecar version {version} unsupported (expected {_VERSION})"
+        )
+    payload = raw[_HEADER_STRUCT.size : _HEADER_STRUCT.size + length]
+    if len(payload) != length or crc != (zlib.crc32(payload) & 0xFFFFFFFF):
+        raise SidecarError(f"{path}: sidecar payload is torn (CRC mismatch)")
+    expected_graph = bytes.fromhex(as_csr(index.engine.graph).digest())
+    if graph_digest != expected_graph:
+        raise SidecarError(
+            f"{path}: sidecar was saved against a different graph "
+            f"(digest {graph_digest.hex()}, index has {expected_graph.hex()})"
+        )
+    if config_sig != _config_signature(index.config):
+        raise SidecarError(
+            f"{path}: sidecar was saved under a different ProbeSim "
+            "configuration"
+        )
+    return index.restore_state(pickle.loads(payload))

@@ -427,7 +427,7 @@ def _replay_thread(
 
 
 def _replay_process(
-    graph: DiGraph,
+    graph: DiGraph | None,
     trace: WorkloadTrace,
     method: str,
     config: dict,
@@ -438,6 +438,7 @@ def _replay_process(
     executor: str = "process",
     shards: int | None = None,
     partition: str = "hash",
+    snapshot=None,
 ) -> MethodReport:
     """Process-executor replay on a :class:`ParallelSimRankService`.
 
@@ -448,7 +449,10 @@ def _replay_process(
     timings are not individually observable from the coordinator).
     ``executor="sequential"`` replays the identical schedule in-process —
     the bit-exactness oracle.  With ``shards`` set the replay targets a
-    :class:`ShardedSimRankService` (``workers`` per shard) instead.
+    :class:`ShardedSimRankService` (``workers`` per shard) instead.  With
+    ``snapshot`` set the services ``mmap``-attach the persistent snapshot
+    (file, or :func:`~repro.parallel.sharded.write_shard_snapshots`
+    directory when sharded) instead of copying ``graph``.
     """
     report = MethodReport(
         method=method, workers=workers, sync_every=sync_every,
@@ -459,9 +463,10 @@ def _replay_process(
     unsynced_updates = 0
     batches_since_sync = 0
 
+    source = graph.copy() if graph is not None else None
     if shards is None:
         service = ParallelSimRankService(
-            graph.copy(),
+            source,
             methods=(method,),
             configs={method: config},
             workers=workers,
@@ -469,10 +474,11 @@ def _replay_process(
             auto_sync=sync_every == 1,
             maintenance=maintenance,
             executor=executor,
+            snapshot=snapshot,
         )
     else:
         service = ShardedSimRankService(
-            graph.copy(),
+            source,
             methods=(method,),
             configs={method: config},
             shards=shards,
@@ -482,6 +488,7 @@ def _replay_process(
             auto_sync=sync_every == 1,
             maintenance=maintenance,
             executor=executor,
+            snapshot=snapshot,
         )
     report.maintenance = service.maintenance
     with service:  # guarantees worker/shared-memory teardown
@@ -528,7 +535,7 @@ def _replay_process(
 
 
 def run_workload(
-    graph: DiGraph,
+    graph: DiGraph | None,
     trace: WorkloadTrace,
     methods: Sequence[str],
     configs: dict[str, dict] | None = None,
@@ -539,6 +546,7 @@ def run_workload(
     maintenance: str = "auto",
     shards: int | None = None,
     partition: str = "hash",
+    snapshot=None,
 ) -> WorkloadResult:
     """Replay ``trace`` once per method and collect comparable reports.
 
@@ -588,6 +596,14 @@ def run_workload(
         or sequential executor (the shard layer has no thread path).
     partition:
         Partition strategy for ``shards`` (``"hash"`` or ``"degree"``).
+    snapshot:
+        Replay against a persistent mmap-attached snapshot instead of
+        ``graph`` (which must then be ``None``): a
+        :func:`repro.storage.write_snapshot` / ``repro ingest`` file
+        unsharded, or a :func:`~repro.parallel.sharded.
+        write_shard_snapshots` directory with ``shards``.  The mapped tier
+        is read-only, so the trace must contain no updates, and it has no
+        thread path.
 
     Returns
     -------
@@ -627,6 +643,24 @@ def run_workload(
                 f"partition must be one of {PARTITION_STRATEGIES}, "
                 f"got {partition!r}"
             )
+    if snapshot is not None:
+        if graph is not None:
+            raise EvaluationError(
+                "pass either graph or snapshot=, not both — the snapshot is "
+                "the graph source"
+            )
+        if executor == "thread":
+            raise EvaluationError(
+                "snapshot replay needs the process or sequential executor; "
+                "the thread executor has no mmap path"
+            )
+        if trace.num_updates:
+            raise EvaluationError(
+                "snapshot replay is read-only: the trace must contain no "
+                f"updates, got {trace.num_updates}"
+            )
+    elif graph is None:
+        raise EvaluationError("need a graph (or snapshot=) to replay against")
     if not methods:
         raise EvaluationError("need at least one method to replay the workload")
     configs = configs or {}
@@ -640,7 +674,10 @@ def run_workload(
     # adjacency-order-sensitive samplers (TSF draws neighbors by list
     # position) agree bit-for-bit across every executor.  The round-trip
     # is a fixed point, so re-canonicalising downstream changes nothing.
-    graph = CSRGraph.from_digraph(graph).to_digraph()
+    # (Snapshot replays skip this: the snapshot payload already *is* the
+    # canonical CSR byte order, attached without materialisation.)
+    if graph is not None:
+        graph = CSRGraph.from_digraph(graph).to_digraph()
     result = WorkloadResult(
         trace_signature=trace.signature(),
         trace_config=trace.config.as_dict(),
@@ -655,7 +692,7 @@ def run_workload(
             report = _replay_process(
                 graph, trace, method, configs.get(method, {}), workers,
                 sync_every, cache_size, maintenance, executor=executor,
-                shards=shards, partition=partition,
+                shards=shards, partition=partition, snapshot=snapshot,
             )
         result.reports.append(report)
     return result

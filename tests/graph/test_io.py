@@ -101,3 +101,37 @@ class TestWriteEdgeList:
         lines = path.read_text().splitlines()
         assert lines[0] == "# hello"
         assert lines[1] == "# world"
+
+
+class TestStreamingMemoryBound:
+    def test_peak_memory_tracks_final_graph_not_edge_list(self, tmp_path):
+        """read_edge_list streams: peak allocation must stay close to the
+        retained graph, never a transient copy of the whole edge list.
+
+        A regression to list-accumulate-then-build roughly doubles the
+        peak (edge list + graph alive at once), so a 1.5x ratio bound
+        catches it with margin while staying robust to allocator noise.
+        """
+        import tracemalloc
+
+        path = tmp_path / "chain.txt"
+        n = 20_000
+        with open(path, "w", encoding="utf-8") as handle:
+            for node in range(n - 1):
+                handle.write(f"{node} {node + 1}\n")
+                handle.write(f"{node + 1} {node}\n")
+
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        graph = read_edge_list(path)
+        retained = tracemalloc.get_traced_memory()[0] - before
+        _, peak = tracemalloc.get_traced_memory()
+        transient_peak = peak - before
+        tracemalloc.stop()
+
+        assert graph.num_edges == 2 * (n - 1)
+        assert retained > 0
+        assert transient_peak < 1.5 * retained, (
+            f"peak {transient_peak} vs retained {retained}: "
+            "read_edge_list is buffering the edge list"
+        )

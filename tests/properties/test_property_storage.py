@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis) for the persistent storage tier.
+
+The central property is *bit-identity of independent paths*: however messy
+the input and however small the ingestion chunks, the out-of-core pipeline
+must produce the same file bytes as the in-memory reference
+(``write_snapshot(read_edge_list(...))``), and a snapshot must reproduce
+its graph's arrays exactly.  The WAL's property is burst-split invariance:
+how an update stream is chopped into appends never changes what replays.
+"""
+
+import gzip
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph, DiGraph, read_edge_list
+from repro.graph.csr import SHM_LAYOUT
+from repro.graph.dynamic import EdgeUpdate
+from repro.storage import (
+    WriteAheadLog,
+    attach_snapshot,
+    ingest_edge_list,
+    write_snapshot,
+)
+
+FILE_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@st.composite
+def messy_edge_texts(draw):
+    """Raw SNAP-style file text: sparse ids, dupes, self-loops, comments."""
+    ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=50_000),
+            min_size=2, max_size=8, unique=True,
+        )
+    )
+    pairs = st.tuples(st.sampled_from(ids), st.sampled_from(ids))
+    edges = draw(st.lists(pairs, min_size=1, max_size=30))
+    lines = []
+    for index, (source, target) in enumerate(edges):
+        if index % 5 == 0 and draw(st.booleans()):
+            lines.append("# interleaved comment")
+        separator = draw(st.sampled_from([" ", "\t", "  "]))
+        lines.append(f"{source}{separator}{target}")
+    text = "\n".join(lines) + "\n"
+    # the text must keep at least one real (non-self-loop) edge
+    if all(s == t for s, t in edges):
+        keep_source, keep_target = ids[0], ids[1]
+        text += f"{keep_source} {keep_target}\n"
+    return text
+
+
+@st.composite
+def update_streams(draw, max_nodes=10):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    pairs = st.tuples(
+        st.sampled_from(["insert", "delete"]),
+        st.integers(min_value=0, max_value=n - 1),
+        st.integers(min_value=0, max_value=n - 1),
+    ).filter(lambda u: u[1] != u[2])
+    raw = draw(st.lists(pairs, min_size=0, max_size=25))
+    return tuple(EdgeUpdate(*u) for u in raw)
+
+
+class TestIngestBitIdentity:
+    @given(
+        messy_edge_texts(),
+        st.integers(min_value=1, max_value=40),
+        st.booleans(),
+    )
+    @FILE_SETTINGS
+    def test_matches_in_memory_reference(self, tmp_path, text, chunk, use_gzip):
+        source = tmp_path / ("edges.txt.gz" if use_gzip else "edges.txt")
+        if use_gzip:
+            source.write_bytes(gzip.compress(text.encode()))
+        else:
+            source.write_text(text, encoding="utf-8")
+        reference = tmp_path / "reference.csr"
+        write_snapshot(read_edge_list(source), reference)
+        out = tmp_path / "ingested.csr"
+        ingest_edge_list(source, out, chunk_edges=chunk)
+        assert out.read_bytes() == reference.read_bytes()
+        source.unlink()
+        reference.unlink()
+        out.unlink()
+
+
+class TestSnapshotRoundTrip:
+    @given(
+        st.integers(min_value=1, max_value=12).flatmap(
+            lambda n: st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ).filter(lambda e: e[0] != e[1]),
+                max_size=30,
+                unique=True,
+            ).map(lambda edges: (n, edges))
+        )
+    )
+    @FILE_SETTINGS
+    def test_arrays_survive_bitwise(self, tmp_path, data):
+        n, edges = data
+        csr = CSRGraph.from_digraph(DiGraph.from_edges(edges, num_nodes=n))
+        path = tmp_path / "g.csr"
+        write_snapshot(csr, path)
+        with attach_snapshot(path, verify=True) as mapped:
+            shared = mapped.graph()
+            for field, _ in SHM_LAYOUT:
+                np.testing.assert_array_equal(
+                    getattr(shared, field), getattr(csr, field)
+                )
+            del shared
+        path.unlink()
+
+
+class TestWalBurstInvariance:
+    @given(update_streams(), st.data())
+    @FILE_SETTINGS
+    def test_any_burst_split_replays_the_same(self, tmp_path, stream, data):
+        path = tmp_path / "w.log"
+        with WriteAheadLog.create(path, generation=3) as wal:
+            remaining = list(stream)
+            while remaining:
+                size = data.draw(
+                    st.integers(min_value=1, max_value=len(remaining)),
+                    label="burst size",
+                )
+                wal.append(remaining[:size])
+                remaining = remaining[size:]
+        tail = WriteAheadLog.replay(path)
+        assert tail.updates == stream
+        assert tail.torn_bytes == 0
+        path.unlink()

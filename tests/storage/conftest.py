@@ -1,0 +1,104 @@
+"""Shared fixtures for the persistent storage tier.
+
+Besides the usual graph fixtures, every test in this package runs under
+three autouse leak audits, so storage hygiene is asserted everywhere
+rather than in dedicated tests only:
+
+- **tmp-file audit** — no ``.tmp-`` / spill / scratch debris may survive a
+  test inside its ``tmp_path`` (atomic writers must rename or unlink);
+- **fd audit** — no file descriptor open on anything under ``tmp_path``
+  may outlive the test (``/proc/self/fd``, Linux only);
+- **mmap audit** — no mapping of a file under ``tmp_path`` may outlive
+  the test (``/proc/self/maps``, Linux only) — a ``MappedSnapshot`` left
+  open, even through the BufferError-tolerant close path, fails here.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.graph import DiGraph, write_edge_list
+
+IS_LINUX = sys.platform.startswith("linux")
+
+
+def open_fds_under(root: Path) -> list[str]:
+    """Paths under ``root`` with an open file descriptor in this process."""
+    found = []
+    for fd in Path("/proc/self/fd").iterdir():
+        try:
+            target = os.readlink(fd)
+        except OSError:  # the fd of the iterdir itself, already gone
+            continue
+        if target.startswith(str(root)):
+            found.append(target)
+    return found
+
+
+def mapped_files_under(root: Path) -> list[str]:
+    """Files under ``root`` currently memory-mapped into this process."""
+    found = set()
+    with open("/proc/self/maps", encoding="utf-8") as handle:
+        for line in handle:
+            path = line.split(maxsplit=5)[-1].strip() if len(line.split()) >= 6 else ""
+            if path.startswith(str(root)):
+                found.add(path)
+    return sorted(found)
+
+
+@pytest.fixture(autouse=True)
+def storage_leak_audit(tmp_path):
+    """Fail any test that leaks tmp debris, fds, or mmaps under tmp_path."""
+    yield
+    gc.collect()  # drop BufferError-pinned mappings before auditing
+    debris = sorted(
+        p.relative_to(tmp_path).as_posix()
+        for p in tmp_path.rglob("*")
+        if ".tmp-" in p.name or p.name.startswith(".ingest-")
+    )
+    assert debris == [], f"temporary files leaked: {debris}"
+    if IS_LINUX:
+        assert open_fds_under(tmp_path) == [], "file descriptors leaked"
+        assert mapped_files_under(tmp_path) == [], "mmap mappings leaked"
+
+
+@pytest.fixture()
+def small_graph() -> DiGraph:
+    """A hand-sized graph with branching, a cycle, and an isolated sink."""
+    return DiGraph.from_edges(
+        [(0, 1), (1, 0), (2, 0), (2, 1), (3, 2), (3, 0), (4, 3), (1, 4)],
+        num_nodes=6,
+    )
+
+
+@pytest.fixture()
+def messy_edge_file(tmp_path) -> Path:
+    """A SNAP-style edge list with comments, duplicates, and self-loops."""
+    path = tmp_path / "messy.txt"
+    lines = [
+        "# a comment header",
+        "10 20",
+        "20 10",
+        "",
+        "10 20",  # duplicate
+        "7 7",    # self-loop (dropped, but 7 claims a dense label)
+        "30 10",
+        "# trailing comment",
+        "30 20",
+        "20 30",
+    ]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def wiki_edge_file(tmp_path, tiny_wiki) -> Path:
+    """The 200-node stand-in dataset as an on-disk edge list."""
+    path = tmp_path / "wiki.txt"
+    write_edge_list(tiny_wiki, path)
+    return path

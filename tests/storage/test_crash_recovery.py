@@ -1,0 +1,190 @@
+"""Fault injection: every crash point in the log/checkpoint cycle recovers.
+
+The contract under test: after a kill at *any* byte of the persistence
+path, recovery lands on a burst boundary — the state right before or right
+after an acknowledged burst, never a torn intermediate — and re-running
+recovery on the same wreckage always yields the same graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import CSRGraph
+from repro.graph.dynamic import EdgeUpdate, apply_update
+from repro.storage import (
+    PersistentGraphStore,
+    WriteAheadLog,
+    recover,
+    write_snapshot,
+)
+from repro.storage.store import snapshot_path, wal_path
+from repro.storage.wal import HEADER_BYTES, RECORD_BYTES
+
+BURST = (
+    EdgeUpdate("insert", 5, 2),
+    EdgeUpdate("insert", 0, 3),
+    EdgeUpdate("delete", 2, 1),
+    EdgeUpdate("insert", 4, 1),
+)
+
+
+def oracle_digest(graph, updates) -> str:
+    """Digest after applying ``updates`` sequentially — the ground truth."""
+    out = graph.copy()
+    for update in updates:
+        apply_update(out, update)
+    return CSRGraph.from_digraph(out).digest()
+
+
+@pytest.fixture()
+def logged_store(small_graph, tmp_path):
+    """A store whose generation-1 WAL holds the full burst."""
+    root = tmp_path / "store"
+    with PersistentGraphStore.create(root, small_graph) as store:
+        store.log(BURST)
+    return root
+
+
+class TestTornWalRecovery:
+    def test_every_byte_offset_recovers_to_a_burst_boundary(
+        self, small_graph, logged_store
+    ):
+        """Kill the writer at every byte of the log: the recovered graph is
+        always exactly the prefix of complete frames — the state just
+        before the torn record, never a blend of partial updates."""
+        log = wal_path(logged_store, 1)
+        full = log.read_bytes()
+        expected = [
+            oracle_digest(small_graph, BURST[:kept])
+            for kept in range(len(BURST) + 1)
+        ]
+        for cut in range(HEADER_BYTES, len(full) + 1):
+            log.write_bytes(full[:cut])
+            kept = (cut - HEADER_BYTES) // RECORD_BYTES
+            with recover(logged_store) as state:
+                assert len(state.tail) == kept, f"cut at byte {cut}"
+                assert state.digest() == expected[kept], f"cut at byte {cut}"
+        log.write_bytes(full)
+
+    def test_recovery_is_idempotent_on_wreckage(self, logged_store):
+        log = wal_path(logged_store, 1)
+        log.write_bytes(log.read_bytes()[:-9])  # tear the last frame
+        digests = []
+        for _ in range(3):
+            with recover(logged_store) as state:
+                digests.append(state.digest())
+                assert state.torn_bytes == RECORD_BYTES - 9
+        assert len(set(digests)) == 1
+
+    def test_open_repairs_then_resumes_identically(
+        self, small_graph, logged_store
+    ):
+        """A torn store, once reopened, continues exactly where the last
+        acknowledged burst left off — the torn record is as if never sent."""
+        log = wal_path(logged_store, 1)
+        log.write_bytes(log.read_bytes()[:-1])  # last frame now torn
+        resumed = (EdgeUpdate("insert", 1, 3),)
+        with PersistentGraphStore.open(logged_store) as store:
+            assert store.wal_records == len(BURST) - 1
+            store.log(resumed)
+        with recover(logged_store) as state:
+            assert state.digest() == oracle_digest(
+                small_graph, BURST[:-1] + resumed
+            )
+
+
+class TestMidCheckpointCrashes:
+    """Splice the store into each intermediate state of a checkpoint.
+
+    ``checkpoint`` orders its steps: write snapshot g+1 → create WAL g+1 →
+    delete WAL g → delete snapshot g.  A kill between any two steps must
+    recover the same logical graph (the folded burst), from whichever
+    generation survives.
+    """
+
+    def folded(self, small_graph):
+        out = small_graph.copy()
+        for update in BURST:
+            apply_update(out, update)
+        return out
+
+    def test_crash_before_snapshot_rename(self, small_graph, logged_store):
+        """The tmp snapshot never renamed: invisible to recovery."""
+        tmp = logged_store / ".snapshot-000002.csr.tmp-12345"
+        tmp.write_bytes(b"half a snapshot")
+        with recover(logged_store) as state:
+            assert state.generation == 1
+            assert state.tail == BURST
+        with PersistentGraphStore.open(logged_store) as store:
+            assert store.generation == 1
+        assert not tmp.exists()  # open() swept the debris
+
+    def test_crash_after_snapshot_before_new_wal(self, small_graph, logged_store):
+        folded = self.folded(small_graph)
+        write_snapshot(folded, snapshot_path(logged_store, 2))
+        with recover(logged_store) as state:
+            assert state.generation == 2
+            assert state.tail == ()  # the snapshot already folds the log in
+            assert state.digest() == oracle_digest(small_graph, BURST)
+
+    def test_crash_after_new_wal_before_deletes(self, small_graph, logged_store):
+        folded = self.folded(small_graph)
+        write_snapshot(folded, snapshot_path(logged_store, 2))
+        WriteAheadLog.create(wal_path(logged_store, 2), 2).close()
+        with recover(logged_store) as state:
+            assert state.generation == 2
+            assert state.digest() == oracle_digest(small_graph, BURST)
+
+    def test_crash_after_old_wal_deleted(self, small_graph, logged_store):
+        folded = self.folded(small_graph)
+        write_snapshot(folded, snapshot_path(logged_store, 2))
+        WriteAheadLog.create(wal_path(logged_store, 2), 2).close()
+        wal_path(logged_store, 1).unlink()
+        with recover(logged_store) as state:
+            assert state.generation == 2
+            assert state.digest() == oracle_digest(small_graph, BURST)
+
+    def test_open_after_mid_checkpoint_crash_sweeps_old_generation(
+        self, small_graph, logged_store
+    ):
+        folded = self.folded(small_graph)
+        write_snapshot(folded, snapshot_path(logged_store, 2))
+        WriteAheadLog.create(wal_path(logged_store, 2), 2).close()
+        with PersistentGraphStore.open(logged_store) as store:
+            assert store.generation == 2
+        survivors = sorted(p.name for p in logged_store.iterdir())
+        assert survivors == ["snapshot-000002.csr", "wal-000002.log"]
+
+    def test_torn_new_snapshot_falls_back_to_old_generation(
+        self, small_graph, logged_store
+    ):
+        """Snapshot g+1 renamed but torn on disk (e.g. silent corruption):
+        recovery verifies the payload and falls back to generation g plus
+        its full log — the exact same logical state."""
+        folded = self.folded(small_graph)
+        write_snapshot(folded, snapshot_path(logged_store, 2))
+        raw = snapshot_path(logged_store, 2).read_bytes()
+        snapshot_path(logged_store, 2).write_bytes(raw[: len(raw) // 2])
+        with recover(logged_store) as state:
+            assert state.generation == 1
+            assert state.tail == BURST
+            assert state.digest() == oracle_digest(small_graph, BURST)
+
+
+class TestCombinedFaults:
+    def test_torn_snapshot_and_torn_wal_together(self, small_graph, logged_store):
+        """Both artifacts damaged at once: fall back a generation *and*
+        drop the torn frame — still a burst boundary."""
+        folded_partial = small_graph.copy()
+        for update in BURST:
+            apply_update(folded_partial, update)
+        write_snapshot(folded_partial, snapshot_path(logged_store, 2))
+        raw = snapshot_path(logged_store, 2).read_bytes()
+        snapshot_path(logged_store, 2).write_bytes(raw[:-16])
+        log = wal_path(logged_store, 1)
+        log.write_bytes(log.read_bytes()[:-5])
+        with recover(logged_store) as state:
+            assert state.generation == 1
+            assert len(state.tail) == len(BURST) - 1
+            assert state.digest() == oracle_digest(small_graph, BURST[:-1])

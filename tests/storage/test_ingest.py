@@ -1,0 +1,132 @@
+"""Out-of-core ingestion: bit-identity with the in-memory path, bounded chunks."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph import CSRGraph, read_edge_list
+from repro.storage import attach_snapshot, ingest_edge_list, write_snapshot
+
+
+def reference_bytes(source, out_dir, **read_kwargs) -> bytes:
+    """The oracle: write_snapshot(read_edge_list(source)) file bytes."""
+    path = out_dir / "reference.csr"
+    write_snapshot(read_edge_list(source, **read_kwargs), path)
+    return path.read_bytes()
+
+
+class TestBitIdentity:
+    def test_matches_in_memory_path(self, messy_edge_file, tmp_path):
+        out = tmp_path / "ingested.csr"
+        stats = ingest_edge_list(messy_edge_file, out)
+        assert out.read_bytes() == reference_bytes(messy_edge_file, tmp_path)
+        header = stats.header
+        assert header.digest == stats.digest
+
+    @pytest.mark.parametrize("chunk_edges", [1, 2, 3, 7, 1 << 18])
+    def test_chunk_size_never_changes_output(
+        self, messy_edge_file, tmp_path, chunk_edges
+    ):
+        out = tmp_path / f"chunk{chunk_edges}.csr"
+        ingest_edge_list(messy_edge_file, out, chunk_edges=chunk_edges)
+        assert out.read_bytes() == reference_bytes(messy_edge_file, tmp_path)
+
+    def test_gzip_transparency(self, messy_edge_file, tmp_path):
+        gz = tmp_path / "messy.txt.gz"
+        gz.write_bytes(gzip.compress(messy_edge_file.read_bytes()))
+        out = tmp_path / "fromgz.csr"
+        ingest_edge_list(gz, out)
+        assert out.read_bytes() == reference_bytes(messy_edge_file, tmp_path)
+
+    def test_larger_graph(self, wiki_edge_file, tmp_path):
+        out = tmp_path / "wiki.csr"
+        stats = ingest_edge_list(wiki_edge_file, out, chunk_edges=100)
+        assert out.read_bytes() == reference_bytes(wiki_edge_file, tmp_path)
+        assert stats.nodes == 200
+
+    def test_no_relabel_verbatim_ids(self, tmp_path):
+        source = tmp_path / "dense.txt"
+        source.write_text("0 1\n1 2\n2 0\n4 0\n", encoding="utf-8")
+        out = tmp_path / "dense.csr"
+        ingest_edge_list(source, out, relabel=False)
+        assert out.read_bytes() == reference_bytes(
+            source, tmp_path, relabel=False
+        )
+        with attach_snapshot(out) as mapped:
+            assert mapped.header.num_nodes == 5  # 0..4, id 3 isolated
+
+    def test_attached_graph_equals_read_edge_list(self, messy_edge_file, tmp_path):
+        out = tmp_path / "messy.csr"
+        ingest_edge_list(messy_edge_file, out)
+        expected = CSRGraph.from_digraph(read_edge_list(messy_edge_file))
+        with attach_snapshot(out, verify=True) as mapped:
+            assert mapped.graph().digest() == expected.digest()
+
+
+class TestStats:
+    def test_counts(self, messy_edge_file, tmp_path):
+        stats = ingest_edge_list(messy_edge_file, tmp_path / "m.csr")
+        assert stats.lines == 7          # non-comment, non-blank lines
+        assert stats.self_loops == 1
+        assert stats.duplicates == 1
+        assert stats.edges == 5
+        # ids seen: 10, 20, 7 (self-loop still claims a label), 30
+        assert stats.nodes == 4
+
+    def test_spill_accounting(self, messy_edge_file, tmp_path):
+        stats = ingest_edge_list(messy_edge_file, tmp_path / "m.csr",
+                                 chunk_edges=2)
+        assert stats.chunk_edges == 2
+        assert stats.spill_bytes == 6 * 16  # kept (pre-dedup) edges, 16 B each
+
+
+class TestErrors:
+    def test_missing_input(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            ingest_edge_list(tmp_path / "nope.txt", tmp_path / "o.csr")
+
+    def test_bad_chunk_size(self, messy_edge_file, tmp_path):
+        with pytest.raises(DatasetError, match="chunk_edges"):
+            ingest_edge_list(messy_edge_file, tmp_path / "o.csr", chunk_edges=0)
+
+    def test_malformed_line(self, tmp_path):
+        source = tmp_path / "bad.txt"
+        source.write_text("1 2\nonly_one_field\n", encoding="utf-8")
+        with pytest.raises(DatasetError, match="expected 'source target'"):
+            ingest_edge_list(source, tmp_path / "o.csr")
+
+    def test_non_integer_id(self, tmp_path):
+        source = tmp_path / "bad.txt"
+        source.write_text("1 2\na b\n", encoding="utf-8")
+        with pytest.raises(DatasetError, match="non-integer"):
+            ingest_edge_list(source, tmp_path / "o.csr")
+
+    def test_self_loop_rejected_when_not_dropping(self, tmp_path):
+        source = tmp_path / "loop.txt"
+        source.write_text("1 1\n", encoding="utf-8")
+        with pytest.raises(DatasetError, match="self-loop"):
+            ingest_edge_list(source, tmp_path / "o.csr", drop_self_loops=False)
+
+    def test_duplicates_rejected_when_not_deduplicating(self, tmp_path):
+        source = tmp_path / "dup.txt"
+        source.write_text("1 2\n1 2\n", encoding="utf-8")
+        with pytest.raises(DatasetError, match="duplicate"):
+            ingest_edge_list(source, tmp_path / "o.csr", deduplicate=False)
+
+    def test_negative_id_without_relabel(self, tmp_path):
+        source = tmp_path / "neg.txt"
+        source.write_text("-1 2\n", encoding="utf-8")
+        with pytest.raises(DatasetError, match="negative"):
+            ingest_edge_list(source, tmp_path / "o.csr", relabel=False)
+
+    def test_failed_ingest_leaves_no_output(self, tmp_path):
+        source = tmp_path / "bad.txt"
+        source.write_text("1 2\nbroken\n", encoding="utf-8")
+        out = tmp_path / "o.csr"
+        with pytest.raises(DatasetError):
+            ingest_edge_list(source, out)
+        assert not out.exists()
+        # spill/scratch/tmp cleanup is asserted by the autouse leak audit

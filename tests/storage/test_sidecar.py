@@ -1,0 +1,98 @@
+"""Walk-cache sidecars: warm restarts must be bit-identical or refused."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.extensions.walk_index import WalkIndex
+from repro.graph.dynamic import EdgeUpdate, apply_update
+from repro.storage import SidecarError, load_walk_cache, save_walk_cache
+
+QUERIES = (0, 3, 7)
+
+
+@pytest.fixture()
+def warm_index(tiny_wiki) -> WalkIndex:
+    index = WalkIndex(tiny_wiki, eps_a=0.3, delta=0.1, seed=42)
+    index.warm(QUERIES)
+    return index
+
+
+class TestRoundTrip:
+    def test_restore_counts_and_scores_bitwise(self, warm_index, tiny_wiki, tmp_path):
+        path = tmp_path / "walks.bin"
+        expected = {q: warm_index.single_source(q).scores for q in QUERIES}
+        saved = save_walk_cache(warm_index, path)
+        assert saved == warm_index.num_cached
+
+        fresh = WalkIndex(tiny_wiki, eps_a=0.3, delta=0.1, seed=42)
+        assert load_walk_cache(fresh, path) == saved
+        assert fresh.num_cached == saved
+        for query in QUERIES:
+            np.testing.assert_array_equal(
+                fresh.single_source(query).scores, expected[query]
+            )
+        # every query above was a cache hit, not a rebuild
+        assert fresh.hit_rate == 1.0
+
+    def test_save_is_atomic_overwrite(self, warm_index, tmp_path):
+        path = tmp_path / "walks.bin"
+        save_walk_cache(warm_index, path)
+        first = path.read_bytes()
+        save_walk_cache(warm_index, path)
+        assert path.read_bytes() == first
+
+
+class TestRefusals:
+    def test_missing_file(self, warm_index, tmp_path):
+        with pytest.raises(SidecarError, match="not found"):
+            load_walk_cache(warm_index, tmp_path / "nope.bin")
+
+    def test_bad_magic(self, warm_index, tmp_path):
+        path = tmp_path / "walks.bin"
+        save_walk_cache(warm_index, path)
+        raw = bytearray(path.read_bytes())
+        raw[:4] = b"NOPE"
+        path.write_bytes(raw)
+        with pytest.raises(SidecarError, match="magic"):
+            load_walk_cache(warm_index, path)
+
+    def test_truncated_header(self, warm_index, tmp_path):
+        path = tmp_path / "walks.bin"
+        save_walk_cache(warm_index, path)
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(SidecarError, match="truncated"):
+            load_walk_cache(warm_index, path)
+
+    def test_truncated_payload(self, warm_index, tmp_path):
+        path = tmp_path / "walks.bin"
+        save_walk_cache(warm_index, path)
+        path.write_bytes(path.read_bytes()[:-7])
+        with pytest.raises(SidecarError, match="torn"):
+            load_walk_cache(warm_index, path)
+
+    def test_payload_corruption(self, warm_index, tmp_path):
+        path = tmp_path / "walks.bin"
+        save_walk_cache(warm_index, path)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x01
+        path.write_bytes(raw)
+        with pytest.raises(SidecarError, match="CRC"):
+            load_walk_cache(warm_index, path)
+
+    def test_graph_digest_mismatch(self, warm_index, tiny_wiki, tmp_path):
+        path = tmp_path / "walks.bin"
+        save_walk_cache(warm_index, path)
+        moved_on = tiny_wiki.copy()
+        apply_update(moved_on, EdgeUpdate("insert", 0, 199))
+        drifted = WalkIndex(moved_on, eps_a=0.3, delta=0.1, seed=42)
+        with pytest.raises(SidecarError, match="different graph"):
+            load_walk_cache(drifted, path)
+
+    def test_config_mismatch(self, warm_index, tiny_wiki, tmp_path):
+        path = tmp_path / "walks.bin"
+        save_walk_cache(warm_index, path)
+        other = WalkIndex(tiny_wiki, eps_a=0.15, delta=0.1, seed=42)
+        with pytest.raises(SidecarError, match="different ProbeSim"):
+            load_walk_cache(other, path)

@@ -1,0 +1,210 @@
+"""Snapshot files: round trips, header validation, and corruption rejection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph
+from repro.graph.csr import SHM_LAYOUT, payload_layout
+from repro.storage import (
+    MappedSnapshot,
+    SnapshotError,
+    attach_snapshot,
+    read_snapshot_header,
+    write_snapshot,
+)
+from repro.storage.snapshot import HEADER_BYTES
+
+
+@pytest.fixture()
+def csr(small_graph) -> CSRGraph:
+    return CSRGraph.from_digraph(small_graph)
+
+
+class TestRoundTrip:
+    def test_write_attach_reproduces_arrays_bitwise(self, csr, tmp_path):
+        path = tmp_path / "g.csr"
+        header = write_snapshot(csr, path)
+        assert header.num_nodes == csr.num_nodes
+        assert header.num_edges == csr.num_edges
+        assert header.digest == csr.digest()
+        with attach_snapshot(path) as mapped:
+            shared = mapped.graph()
+            assert shared.num_nodes == csr.num_nodes
+            for field, _ in SHM_LAYOUT:
+                np.testing.assert_array_equal(
+                    getattr(shared, field), getattr(csr, field)
+                )
+            del shared
+
+    def test_digraph_input_is_canonicalised(self, small_graph, tmp_path):
+        path = tmp_path / "g.csr"
+        write_snapshot(small_graph, path)
+        expected = CSRGraph.from_digraph(small_graph)
+        with attach_snapshot(path, verify=True) as mapped:
+            assert mapped.graph().digest() == expected.digest()
+
+    def test_payload_bytes_match_shm_layout_exactly(self, csr, tmp_path):
+        """The file payload is byte-identical to a shared-memory segment.
+
+        This is the property the whole mmap-serving design rests on: the
+        parallel layer's view construction works unchanged on either.
+        """
+        path = tmp_path / "g.csr"
+        write_snapshot(csr, path)
+        layout, payload_size = payload_layout(csr.num_nodes, csr.num_edges)
+        raw = path.read_bytes()
+        assert len(raw) == HEADER_BYTES + payload_size
+        payload = raw[HEADER_BYTES:]
+        for field, dtype, offset, count in layout:
+            expected = np.ascontiguousarray(getattr(csr, field), dtype=dtype)
+            got = np.frombuffer(
+                payload, dtype=dtype, count=count, offset=offset
+            )
+            np.testing.assert_array_equal(got, expected)
+
+    def test_overwrite_is_atomic_replace(self, csr, tmp_path):
+        path = tmp_path / "g.csr"
+        write_snapshot(csr, path)
+        write_snapshot(csr, path)  # second write replaces, never appends
+        assert read_snapshot_header(path).digest == csr.digest()
+
+    def test_empty_graph_round_trips(self, tmp_path):
+        from repro.graph import DiGraph
+
+        csr = CSRGraph.from_digraph(DiGraph(3))
+        path = tmp_path / "empty.csr"
+        write_snapshot(csr, path)
+        with attach_snapshot(path, verify=True) as mapped:
+            g = mapped.graph()
+            assert g.num_nodes == 3
+            assert g.num_edges == 0
+
+
+class TestHeader:
+    def test_read_header_without_payload_scan(self, csr, tmp_path):
+        path = tmp_path / "g.csr"
+        write_snapshot(csr, path)
+        header = read_snapshot_header(path)
+        assert (header.num_nodes, header.num_edges) == (
+            csr.num_nodes, csr.num_edges,
+        )
+        assert header.file_bytes == path.stat().st_size
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="not found"):
+            read_snapshot_header(tmp_path / "nope.csr")
+
+    def test_bad_magic(self, csr, tmp_path):
+        path = tmp_path / "g.csr"
+        write_snapshot(csr, path)
+        raw = bytearray(path.read_bytes())
+        raw[:4] = b"XXXX"
+        path.write_bytes(raw)
+        with pytest.raises(SnapshotError, match="magic"):
+            read_snapshot_header(path)
+
+    def test_bad_version(self, csr, tmp_path):
+        path = tmp_path / "g.csr"
+        write_snapshot(csr, path)
+        raw = bytearray(path.read_bytes())
+        raw[4] = 99  # version field; CRC now also wrong, version wins
+        path.write_bytes(raw)
+        with pytest.raises(SnapshotError, match="version"):
+            read_snapshot_header(path)
+
+    def test_header_crc_detects_field_corruption(self, csr, tmp_path):
+        path = tmp_path / "g.csr"
+        write_snapshot(csr, path)
+        raw = bytearray(path.read_bytes())
+        raw[8] ^= 0xFF  # flip a num_nodes byte
+        path.write_bytes(raw)
+        with pytest.raises(SnapshotError, match="CRC"):
+            read_snapshot_header(path)
+
+    @pytest.mark.parametrize("keep", [0, 1, 17, 63])
+    def test_truncated_header(self, csr, tmp_path, keep):
+        path = tmp_path / "g.csr"
+        write_snapshot(csr, path)
+        path.write_bytes(path.read_bytes()[:keep])
+        with pytest.raises(SnapshotError, match="truncated"):
+            read_snapshot_header(path)
+
+    def test_truncated_payload(self, csr, tmp_path):
+        path = tmp_path / "g.csr"
+        write_snapshot(csr, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-8])
+        with pytest.raises(SnapshotError, match="bytes"):
+            read_snapshot_header(path)
+
+
+class TestVerification:
+    def test_payload_corruption_caught_by_verify(self, csr, tmp_path):
+        path = tmp_path / "g.csr"
+        write_snapshot(csr, path)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x01  # flip one payload bit; header stays valid
+        path.write_bytes(raw)
+        read_snapshot_header(path)  # header-only check passes
+        with pytest.raises(SnapshotError, match="digest"):
+            attach_snapshot(path, verify=True)
+
+    def test_plain_attach_skips_payload_scan(self, csr, tmp_path):
+        path = tmp_path / "g.csr"
+        write_snapshot(csr, path)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x01
+        path.write_bytes(raw)
+        with attach_snapshot(path) as mapped:  # verify=False: attaches fine
+            assert mapped.header.num_nodes == csr.num_nodes
+
+
+class TestMappedSnapshotLifecycle:
+    def test_buf_matches_shm_offsets(self, csr, tmp_path):
+        path = tmp_path / "g.csr"
+        write_snapshot(csr, path)
+        mapped = MappedSnapshot.open(path)
+        _, payload_size = payload_layout(csr.num_nodes, csr.num_edges)
+        assert len(mapped.buf) == payload_size
+        mapped.close()
+
+    def test_close_matches_shared_memory_semantics(self, csr, tmp_path):
+        """close() releases the mapping like SharedMemory.close does.
+
+        Views must be dropped first (the caller discipline the parallel
+        layer already follows for shm segments); close is idempotent.
+        """
+        path = tmp_path / "g.csr"
+        write_snapshot(csr, path)
+        mapped = MappedSnapshot.open(path)
+        graph = mapped.graph()
+        assert graph.num_edges == csr.num_edges
+        del graph
+        mapped.close()
+        mapped.close()  # idempotent
+
+    def test_closed_buf_raises(self, csr, tmp_path):
+        path = tmp_path / "g.csr"
+        write_snapshot(csr, path)
+        mapped = MappedSnapshot.open(path)
+        mapped.close()
+        with pytest.raises(SnapshotError, match="closed"):
+            mapped.buf  # noqa: B018 - the access is the assertion
+
+    def test_unlink_is_noop(self, csr, tmp_path):
+        """Releasing a mapping must never delete the durable file."""
+        path = tmp_path / "g.csr"
+        write_snapshot(csr, path)
+        with attach_snapshot(path) as mapped:
+            mapped.unlink()
+        assert path.exists()
+
+    def test_two_attachments_share_the_file(self, csr, tmp_path):
+        path = tmp_path / "g.csr"
+        write_snapshot(csr, path)
+        with attach_snapshot(path) as a, attach_snapshot(path) as b:
+            ga, gb = a.graph(), b.graph()
+            np.testing.assert_array_equal(ga.out_indices, gb.out_indices)
+            del ga, gb

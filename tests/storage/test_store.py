@@ -1,0 +1,201 @@
+"""Store directories: generation lifecycle, recovery selection, repair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import CSRGraph
+from repro.graph.dynamic import EdgeUpdate, apply_update
+from repro.storage import (
+    PersistentGraphStore,
+    StoreError,
+    WriteAheadLog,
+    recover,
+    write_snapshot,
+)
+from repro.storage.store import snapshot_path, wal_path
+
+BURST = (
+    EdgeUpdate("insert", 5, 2),
+    EdgeUpdate("insert", 0, 3),
+    EdgeUpdate("delete", 2, 1),
+)
+
+
+def oracle(graph, updates):
+    """Sequentially applied updates on a copy — the recovery ground truth."""
+    out = graph.copy()
+    for update in updates:
+        apply_update(out, update)
+    return out
+
+
+def digest_of(graph) -> str:
+    return CSRGraph.from_digraph(graph).digest()
+
+
+class TestLifecycle:
+    def test_create_then_materialize(self, small_graph, tmp_path):
+        with PersistentGraphStore.create(tmp_path / "s", small_graph) as store:
+            assert store.generation == 1
+            assert store.wal_records == 0
+            assert digest_of(store.materialize()) == digest_of(small_graph)
+        assert snapshot_path(tmp_path / "s", 1).exists()
+        assert wal_path(tmp_path / "s", 1).exists()
+
+    def test_create_refuses_existing_store(self, small_graph, tmp_path):
+        PersistentGraphStore.create(tmp_path / "s", small_graph).close()
+        with pytest.raises(StoreError, match="already holds a store"):
+            PersistentGraphStore.create(tmp_path / "s", small_graph)
+
+    def test_log_then_materialize_applies_tail(self, small_graph, tmp_path):
+        with PersistentGraphStore.create(tmp_path / "s", small_graph) as store:
+            assert store.log(BURST) == len(BURST)
+            live = store.materialize()
+        assert digest_of(live) == digest_of(oracle(small_graph, BURST))
+
+    def test_checkpoint_rotates_and_deletes_old_generation(
+        self, small_graph, tmp_path
+    ):
+        root = tmp_path / "s"
+        with PersistentGraphStore.create(root, small_graph) as store:
+            store.log(BURST)
+            folded = oracle(small_graph, BURST)
+            assert store.checkpoint(folded) == 2
+            assert store.generation == 2
+            assert store.wal_records == 0  # fresh log for the new generation
+        assert not snapshot_path(root, 1).exists()
+        assert not wal_path(root, 1).exists()
+        assert snapshot_path(root, 2).exists()
+        with recover(root) as state:
+            assert state.generation == 2
+            assert state.tail == ()
+            assert state.digest() == digest_of(folded)
+
+    def test_open_resumes_logging(self, small_graph, tmp_path):
+        root = tmp_path / "s"
+        with PersistentGraphStore.create(root, small_graph) as store:
+            store.log(BURST[:1])
+        with PersistentGraphStore.open(root) as store:
+            assert store.wal_records == 1
+            store.log(BURST[1:])
+        with recover(root) as state:
+            assert state.tail == BURST
+            assert state.digest() == digest_of(oracle(small_graph, BURST))
+
+
+class TestRecover:
+    def test_read_only_and_idempotent(self, small_graph, tmp_path):
+        root = tmp_path / "s"
+        with PersistentGraphStore.create(root, small_graph) as store:
+            store.log(BURST)
+        before = sorted(
+            (p.name, p.stat().st_size) for p in root.iterdir()
+        )
+        digests = []
+        for _ in range(2):
+            with recover(root) as state:
+                digests.append(state.digest())
+        assert digests[0] == digests[1]
+        after = sorted((p.name, p.stat().st_size) for p in root.iterdir())
+        assert before == after
+
+    def test_empty_tail_serves_zero_copy(self, small_graph, tmp_path):
+        root = tmp_path / "s"
+        PersistentGraphStore.create(root, small_graph).close()
+        with recover(root) as state:
+            csr = state.csr()
+            # the digest comes straight from the verified header
+            assert state.digest() == csr.digest()
+            del csr
+
+    def test_missing_wal_is_empty_tail(self, small_graph, tmp_path):
+        root = tmp_path / "s"
+        PersistentGraphStore.create(root, small_graph).close()
+        wal_path(root, 1).unlink()
+        with recover(root) as state:
+            assert state.tail == ()
+            assert state.digest() == digest_of(small_graph)
+
+    def test_corrupt_newest_snapshot_falls_back_a_generation(
+        self, small_graph, tmp_path
+    ):
+        root = tmp_path / "s"
+        with PersistentGraphStore.create(root, small_graph) as store:
+            store.log(BURST)
+        # fabricate a "newer" generation whose snapshot is torn
+        folded = oracle(small_graph, BURST)
+        write_snapshot(folded, snapshot_path(root, 2))
+        raw = snapshot_path(root, 2).read_bytes()
+        snapshot_path(root, 2).write_bytes(raw[:-4])
+        with recover(root) as state:
+            assert state.generation == 1
+            assert state.tail == BURST
+            assert state.digest() == digest_of(folded)
+
+    def test_payload_corruption_needs_verify(self, small_graph, tmp_path):
+        root = tmp_path / "s"
+        PersistentGraphStore.create(root, small_graph).close()
+        raw = bytearray(snapshot_path(root, 1).read_bytes())
+        raw[-1] ^= 0x01
+        snapshot_path(root, 1).write_bytes(raw)
+        with pytest.raises(StoreError, match="no recoverable generation"):
+            recover(root, verify=True)
+
+    def test_wal_generation_mismatch_ignores_the_log(self, small_graph, tmp_path):
+        root = tmp_path / "s"
+        PersistentGraphStore.create(root, small_graph).close()
+        # replace the WAL with one stamped for a different generation
+        with WriteAheadLog.create(wal_path(root, 1), generation=9) as wal:
+            wal.append(BURST)
+        with recover(root) as state:
+            assert state.tail == ()  # mismatched log never replays
+            assert state.digest() == digest_of(small_graph)
+
+    def test_errors(self, small_graph, tmp_path):
+        with pytest.raises(StoreError, match="not a store directory"):
+            recover(tmp_path / "missing")
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(StoreError, match="no snapshot files"):
+            recover(empty)
+
+
+class TestOpenRepairs:
+    def test_torn_wal_tail_is_truncated(self, small_graph, tmp_path):
+        root = tmp_path / "s"
+        with PersistentGraphStore.create(root, small_graph) as store:
+            store.log(BURST)
+        log = wal_path(root, 1)
+        intact = log.stat().st_size
+        log.write_bytes(log.read_bytes() + b"\x13\x37")
+        with PersistentGraphStore.open(root) as store:
+            assert store.wal_records == len(BURST)
+        assert log.stat().st_size == intact
+
+    def test_missing_wal_is_recreated(self, small_graph, tmp_path):
+        root = tmp_path / "s"
+        PersistentGraphStore.create(root, small_graph).close()
+        wal_path(root, 1).unlink()
+        with PersistentGraphStore.open(root) as store:
+            assert store.wal_records == 0
+            store.log(BURST)
+        with recover(root) as state:
+            assert state.tail == BURST
+
+    def test_sweep_removes_stale_generations_and_debris(
+        self, small_graph, tmp_path
+    ):
+        root = tmp_path / "s"
+        with PersistentGraphStore.create(root, small_graph) as store:
+            store.log(BURST)
+            store.checkpoint(oracle(small_graph, BURST))
+        # re-create generation-1 leftovers and crashed tmp files by hand
+        write_snapshot(small_graph, snapshot_path(root, 1))
+        WriteAheadLog.create(wal_path(root, 1), 1).close()
+        (root / ".snapshot-000003.csr.tmp-999").write_bytes(b"junk")
+        (root / ".ingest-scratch").write_bytes(b"junk")
+        with PersistentGraphStore.open(root) as store:
+            assert store.generation == 2
+        survivors = sorted(p.name for p in root.iterdir())
+        assert survivors == ["snapshot-000002.csr", "wal-000002.log"]

@@ -1,0 +1,167 @@
+"""Write-ahead log: framing, replay, and torn-tail fault injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.dynamic import EdgeUpdate
+from repro.storage import WalError, WriteAheadLog
+from repro.storage.wal import HEADER_BYTES, RECORD_BYTES
+
+UPDATES = (
+    EdgeUpdate("insert", 3, 4),
+    EdgeUpdate("delete", 0, 1),
+    EdgeUpdate("insert", 5, 0),
+)
+
+
+def make_log(path, updates=UPDATES, generation=7):
+    with WriteAheadLog.create(path, generation) as wal:
+        wal.append(updates)
+    return path
+
+
+class TestRoundTrip:
+    def test_append_replay(self, tmp_path):
+        path = make_log(tmp_path / "w.log")
+        tail = WriteAheadLog.replay(path)
+        assert tail.generation == 7
+        assert tail.updates == UPDATES
+        assert tail.torn_bytes == 0
+        assert tail.valid_bytes == HEADER_BYTES + 3 * RECORD_BYTES
+
+    def test_empty_log(self, tmp_path):
+        with WriteAheadLog.create(tmp_path / "w.log", 1) as wal:
+            assert wal.records == 0
+        tail = WriteAheadLog.replay(tmp_path / "w.log")
+        assert tail.updates == ()
+        assert tail.valid_bytes == HEADER_BYTES
+
+    def test_empty_append_is_noop(self, tmp_path):
+        with WriteAheadLog.create(tmp_path / "w.log", 1) as wal:
+            assert wal.append([]) == 0
+        assert (tmp_path / "w.log").stat().st_size == HEADER_BYTES
+
+    def test_multiple_bursts_accumulate(self, tmp_path):
+        with WriteAheadLog.create(tmp_path / "w.log", 2, fsync=False) as wal:
+            assert wal.append(UPDATES[:1]) == 1
+            assert wal.append(UPDATES[1:]) == 3
+        assert WriteAheadLog.replay(tmp_path / "w.log").updates == UPDATES
+
+    def test_open_resumes_appending(self, tmp_path):
+        path = make_log(tmp_path / "w.log")
+        extra = EdgeUpdate("delete", 9, 9 + 1)
+        with WriteAheadLog.open(path) as wal:
+            assert wal.records == 3
+            wal.append([extra])
+        assert WriteAheadLog.replay(path).updates == UPDATES + (extra,)
+
+    def test_append_after_close_refused(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "w.log", 1)
+        wal.close()
+        with pytest.raises(WalError, match="closed"):
+            wal.append(UPDATES)
+        wal.close()  # idempotent
+
+
+class TestHeaderValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WalError, match="not found"):
+            WriteAheadLog.replay(tmp_path / "nope.log")
+
+    def test_bad_magic(self, tmp_path):
+        path = make_log(tmp_path / "w.log")
+        raw = bytearray(path.read_bytes())
+        raw[:4] = b"JUNK"
+        path.write_bytes(raw)
+        with pytest.raises(WalError, match="magic"):
+            WriteAheadLog.replay(path)
+
+    def test_bad_version(self, tmp_path):
+        path = make_log(tmp_path / "w.log")
+        raw = bytearray(path.read_bytes())
+        raw[4] = 42
+        path.write_bytes(raw)
+        with pytest.raises(WalError, match="version"):
+            WriteAheadLog.replay(path)
+
+    def test_header_crc(self, tmp_path):
+        path = make_log(tmp_path / "w.log")
+        raw = bytearray(path.read_bytes())
+        raw[8] ^= 0xFF  # corrupt the generation field
+        path.write_bytes(raw)
+        with pytest.raises(WalError, match="CRC"):
+            WriteAheadLog.replay(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = make_log(tmp_path / "w.log")
+        path.write_bytes(path.read_bytes()[: HEADER_BYTES - 1])
+        with pytest.raises(WalError, match="truncated"):
+            WriteAheadLog.replay(path)
+
+
+class TestTornTail:
+    """Fault injection: a writer killed mid-append at every byte offset."""
+
+    def test_truncation_at_every_byte_of_the_last_record(self, tmp_path):
+        """Cut the file anywhere inside the last record: replay returns
+        exactly the records before it — never a torn or corrupt one."""
+        full = make_log(tmp_path / "full.log").read_bytes()
+        last_start = HEADER_BYTES + 2 * RECORD_BYTES
+        for cut in range(last_start, len(full)):
+            path = tmp_path / "cut.log"
+            path.write_bytes(full[:cut])
+            tail = WriteAheadLog.replay(path)
+            assert tail.updates == UPDATES[:2], f"cut at byte {cut}"
+            assert tail.valid_bytes == last_start
+            assert tail.torn_bytes == cut - last_start
+            path.unlink()
+
+    def test_truncation_at_every_record_boundary(self, tmp_path):
+        full = make_log(tmp_path / "full.log").read_bytes()
+        for kept in range(len(UPDATES) + 1):
+            cut = HEADER_BYTES + kept * RECORD_BYTES
+            path = tmp_path / "cut.log"
+            path.write_bytes(full[:cut])
+            tail = WriteAheadLog.replay(path)
+            assert tail.updates == UPDATES[:kept]
+            assert tail.torn_bytes == 0
+            path.unlink()
+
+    def test_corrupt_middle_record_ends_replay_there(self, tmp_path):
+        """A flipped byte mid-log invalidates that record *and everything
+        after it* — replay never resynchronises past corruption."""
+        path = make_log(tmp_path / "w.log")
+        raw = bytearray(path.read_bytes())
+        raw[HEADER_BYTES + RECORD_BYTES + 6] ^= 0x01  # inside record 2
+        path.write_bytes(raw)
+        tail = WriteAheadLog.replay(path)
+        assert tail.updates == UPDATES[:1]
+        assert tail.torn_bytes == 2 * RECORD_BYTES
+
+    def test_replay_is_read_only_and_idempotent(self, tmp_path):
+        path = make_log(tmp_path / "w.log")
+        torn = path.read_bytes() + b"\x01\x02\x03"
+        path.write_bytes(torn)
+        first = WriteAheadLog.replay(path)
+        second = WriteAheadLog.replay(path)
+        assert first == second
+        assert path.read_bytes() == torn  # untouched
+
+    def test_open_truncates_the_torn_tail(self, tmp_path):
+        path = make_log(tmp_path / "w.log")
+        intact_size = path.stat().st_size
+        path.write_bytes(path.read_bytes() + b"\xde\xad\xbe")
+        with WriteAheadLog.open(path) as wal:
+            assert wal.records == 3
+        assert path.stat().st_size == intact_size
+        assert WriteAheadLog.replay(path).torn_bytes == 0
+
+    def test_append_after_repair_replays_cleanly(self, tmp_path):
+        path = make_log(tmp_path / "w.log")
+        path.write_bytes(path.read_bytes()[:-5])  # tear the last record
+        extra = EdgeUpdate("insert", 8, 9)
+        with WriteAheadLog.open(path) as wal:
+            assert wal.records == 2  # the torn record is gone
+            wal.append([extra])
+        assert WriteAheadLog.replay(path).updates == UPDATES[:2] + (extra,)

@@ -158,3 +158,95 @@ class TestQueryCommands:
         )
         assert proc.returncode == 0
         assert "directed" in proc.stdout
+
+
+class TestIngestCommand:
+    def test_writes_snapshot_and_prints_stats(self, toy_path, tmp_path, capsys):
+        out = tmp_path / "toy.csr"
+        assert main(["ingest", toy_path, "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "nodes" in printed and "digest" in printed
+        from repro.storage import read_snapshot_header
+
+        header = read_snapshot_header(out)
+        assert header.num_nodes == 8
+        assert header.num_edges == 20
+
+    def test_matches_in_memory_reference(self, toy_path, tmp_path):
+        from repro.graph import read_edge_list
+        from repro.storage import write_snapshot
+
+        ingested = tmp_path / "a.csr"
+        reference = tmp_path / "b.csr"
+        assert main(["ingest", toy_path, "--out", str(ingested)]) == 0
+        write_snapshot(read_edge_list(toy_path), reference)
+        assert ingested.read_bytes() == reference.read_bytes()
+
+    def test_missing_input_is_clean_error(self, tmp_path, capsys):
+        code = main([
+            "ingest", str(tmp_path / "nope.txt"), "--out", str(tmp_path / "o.csr"),
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRecoverCommand:
+    def test_reports_recovered_state(self, tmp_path, capsys):
+        from repro.datasets import toy_graph
+        from repro.graph.dynamic import EdgeUpdate
+        from repro.storage import PersistentGraphStore
+
+        root = tmp_path / "store"
+        with PersistentGraphStore.create(root, toy_graph()) as store:
+            store.log([EdgeUpdate("insert", 0, 5)])
+        assert main(["recover", str(root)]) == 0
+        printed = capsys.readouterr().out
+        assert "generation" in printed and "wal_tail" in printed
+        assert "1" in printed  # one tail record
+
+    def test_empty_directory_is_clean_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["recover", str(empty)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestWorkloadSnapshotReplay:
+    def test_replays_from_snapshot(self, toy_path, tmp_path, capsys):
+        snap = tmp_path / "toy.csr"
+        assert main(["ingest", toy_path, "--out", str(snap)]) == 0
+        capsys.readouterr()
+        code = main([
+            "workload", "--snapshot", str(snap),
+            "--methods", "probesim-batched", "--ops", "20",
+            "--read-fraction", "1", "--executor", "sequential",
+            "--eps-a", "0.3", "--seed", "5",
+        ])
+        assert code == 0
+        assert "qps" in capsys.readouterr().out
+
+    def test_snapshot_plus_graph_is_clean_error(self, toy_path, tmp_path, capsys):
+        snap = tmp_path / "toy.csr"
+        assert main(["ingest", toy_path, "--out", str(snap)]) == 0
+        capsys.readouterr()
+        code = main([
+            "workload", toy_path, "--snapshot", str(snap), "--ops", "10",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_snapshot_with_updates_is_clean_error(self, toy_path, tmp_path, capsys):
+        snap = tmp_path / "toy.csr"
+        assert main(["ingest", toy_path, "--out", str(snap)]) == 0
+        capsys.readouterr()
+        code = main([
+            "workload", "--snapshot", str(snap), "--ops", "10",
+            "--read-fraction", "0.5", "--executor", "sequential",
+        ])
+        assert code == 2
+        assert "read-only" in capsys.readouterr().err
+
+    def test_no_graph_no_snapshot_is_clean_error(self, capsys):
+        code = main(["workload", "--ops", "10"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -51,8 +51,8 @@ class TestArchitectureDoc:
     def test_architecture_names_every_package(self):
         text = (REPO / "ARCHITECTURE.md").read_text(encoding="utf-8")
         for package in ("graph/", "core/", "baselines/", "extensions/",
-                        "api/", "parallel/", "server/", "workloads/",
-                        "eval/", "datasets/", "utils/"):
+                        "api/", "parallel/", "server/", "storage/",
+                        "workloads/", "eval/", "datasets/", "utils/"):
             assert package in text, f"ARCHITECTURE.md does not map {package}"
 
     def test_architecture_documents_both_data_flows(self):
@@ -74,6 +74,11 @@ class TestArchitectureDoc:
         text = (REPO / "ARCHITECTURE.md").read_text(encoding="utf-8")
         assert "HTTP serving data flow" in text
         assert "SimRankHTTPApp" in text
+
+    def test_architecture_documents_storage(self):
+        text = (REPO / "ARCHITECTURE.md").read_text(encoding="utf-8")
+        assert "storage & recovery data flow" in text
+        assert "PersistentGraphStore" in text
 
     def test_readme_links_architecture_and_docs(self):
         text = (REPO / "README.md").read_text(encoding="utf-8")

@@ -28,7 +28,7 @@ class TestExports:
         "package",
         ["repro.api", "repro.graph", "repro.core", "repro.baselines",
          "repro.eval", "repro.datasets", "repro.extensions", "repro.utils",
-         "repro.workloads"],
+         "repro.workloads", "repro.parallel", "repro.server", "repro.storage"],
     )
     def test_subpackage_all_importable(self, package):
         module = importlib.import_module(package)
