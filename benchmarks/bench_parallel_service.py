@@ -25,6 +25,13 @@ Usage::
 
 The ``--json`` report carries a flat ``gate`` block consumed by
 ``tools/check_bench_regression.py`` (the nightly perf-regression gate).
+
+``--free-threaded-probe`` (opt-in) re-runs the thread-executor sweep and
+reports whether it scales with pool width — the question only a
+free-threaded build (3.13t, ``python -X gil=0`` / PEP 703) can answer
+with "yes".  On a GIL build the probe still runs and records the flat
+scaling curve as the control measurement; nothing gates on it either
+way, it is an instrumentation surface for free-threaded CPython.
 """
 
 import argparse
@@ -150,6 +157,38 @@ def run_bench(worker_series, smoke: bool) -> dict:
     }
 
 
+def gil_enabled() -> bool | None:
+    """``True``/``False`` on 3.13+, ``None`` where the probe cannot tell."""
+    probe = getattr(sys, "_is_gil_enabled", None)
+    return probe() if callable(probe) else None
+
+
+def run_free_threaded_probe(worker_series, smoke: bool) -> dict:
+    """Thread-executor scaling curve plus the interpreter's GIL status.
+
+    On a free-threaded build the thread executor should approach the
+    process executor's scaling (no pickling, no fork); on a GIL build the
+    curve stays flat.  Either result is recorded, never gated.
+    """
+    graph, trace = build_trace(smoke)
+    rows = [
+        replay(graph, trace, smoke, "thread", workers)
+        for workers in worker_series
+    ]
+    emit_table(
+        "parallel_service", rows,
+        (f"Free-threaded probe: thread executor sweep "
+         f"(gil_enabled={gil_enabled()}, cores={multiprocessing.cpu_count()})"),
+    )
+    base = rows[0]["qps"]
+    return {
+        "gil_enabled": gil_enabled(),
+        "python": sys.version,
+        "series": rows,
+        "scaling": round(rows[-1]["qps"] / base, 3) if base else None,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workers", default="1,2,4,8",
@@ -161,10 +200,19 @@ def main(argv=None) -> int:
     parser.add_argument("--assert-speedup", action="store_true",
                         help="fail unless process w4 >= 2x thread QPS "
                              "(needs real multi-core hardware)")
+    parser.add_argument("--free-threaded-probe", action="store_true",
+                        dest="free_threaded_probe",
+                        help="also sweep the thread executor and record "
+                             "whether it scales (meaningful on a 3.13t "
+                             "free-threaded build; informational elsewhere)")
     args = parser.parse_args(argv)
     worker_series = [int(w) for w in args.workers.split(",") if w.strip()]
 
     payload = run_bench(worker_series, args.smoke)
+    if args.free_threaded_probe:
+        payload["free_threaded_probe"] = run_free_threaded_probe(
+            worker_series, args.smoke
+        )
     digests = {
         (row["executor"], row["workers"]): row["digest"]
         for row in payload["series"]

@@ -14,7 +14,7 @@ This package is the system's API layer:
     (deduplicated) queries and capability-dispatched update maintenance.
 """
 
-from repro.api.estimator import Capabilities, SimRankEstimator, warn_deprecated_verb
+from repro.api.estimator import Capabilities, SimRankEstimator
 from repro.api.registry import (
     MethodEntry,
     available_methods,
@@ -38,5 +38,4 @@ __all__ = [
     "get_entry",
     "method_names",
     "register",
-    "warn_deprecated_verb",
 ]

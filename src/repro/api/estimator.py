@@ -19,8 +19,8 @@ five baselines, and both extensions) speaks five verbs:
     The unified dynamic-maintenance verb.  Whatever a method must do after
     the underlying graph changed — re-snapshot adjacency (ProbeSim, Monte
     Carlo, TopSim), recompute a matrix (Power Method), or rebuild an index
-    (SLING, TSF) — happens here.  The old per-method verbs (``refresh()``,
-    ``rebuild()``) remain as deprecated aliases.
+    (SLING, TSF) — happens here.  The pre-2.0 per-method verbs
+    (``refresh()``, ``rebuild()``) were removed in 2.0.
 ``capabilities()``
     A :class:`Capabilities` descriptor so callers (the registry, the service,
     the benchmark harness) can select methods programmatically instead of
@@ -34,7 +34,6 @@ duck-typed method objects keep working without inheriting from this class.
 from __future__ import annotations
 
 import abc
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -91,6 +90,13 @@ class Capabilities:
         :meth:`SimRankEstimator.sync`.  False for static rebuild-only
         indexes (SLING) and dense exact solvers (Power Method), whose
         per-worker-per-epoch rebuild would dominate serving.
+    native:
+        True when queries run through the native kernel engine
+        (:mod:`repro.core.native`): compiled numba kernels where available,
+        with a byte-identical numpy fallback otherwise.  This flag describes
+        the *engine selection*, which is environment-independent; which
+        backend actually executes (``"numba"``/``"numpy"``) is runtime
+        information reported by :func:`repro.core.native.native_backend`.
     """
 
     method: str
@@ -100,6 +106,7 @@ class Capabilities:
     incremental_updates: bool = False
     vectorized: bool = False
     parallel_safe: bool = False
+    native: bool = False
 
     def as_row(self) -> dict[str, object]:
         """Flat dict row for table rendering (CLI ``methods`` subcommand)."""
@@ -111,6 +118,7 @@ class Capabilities:
             "incremental": self.incremental_updates,
             "vectorized": self.vectorized,
             "parallel": self.parallel_safe,
+            "native": self.native,
         }
 
 
@@ -177,33 +185,3 @@ class SimRankEstimator(abc.ABC):
         if all(callable(getattr(subclass, verb, None)) for verb in PROTOCOL_VERBS):
             return True
         return NotImplemented
-
-
-#: the release in which the deprecated maintenance verbs will be removed.
-DEPRECATED_VERB_REMOVAL = "2.0"
-
-
-def warn_deprecated_verb(owner: str, old: str, new: str = "sync") -> None:
-    """Emit the standard :class:`DeprecationWarning` for a renamed verb.
-
-    Used by the thin ``refresh()`` / ``rebuild()`` aliases kept for backward
-    compatibility.  The message names both the replacement verb and the
-    release that removes the alias (``DEPRECATED_VERB_REMOVAL``), so callers
-    can migrate from the warning alone; ``stacklevel=3`` points the warning
-    at the caller of the deprecated method, not at the alias body.
-
-    Parameters
-    ----------
-    owner:
-        Class name the alias lives on (e.g. ``"ProbeSim"``).
-    old:
-        The deprecated verb name, without parentheses.
-    new:
-        The replacement verb name (default ``"sync"``).
-    """
-    warnings.warn(
-        f"{owner}.{old}() is deprecated and will be removed in "
-        f"{DEPRECATED_VERB_REMOVAL}; use {owner}.{new}() instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )

@@ -229,6 +229,25 @@ def _register_builtins() -> None:
         ),
     )
 
+    def probesim_native_factory(graph, **config):
+        """ProbeSim pinned to the native (numba/numpy) kernel engine."""
+        config.setdefault("strategy", "batch")
+        return ProbeSim(graph, engine="native", **config)
+
+    register(
+        "probesim-native",
+        probesim_native_factory,
+        summary="ProbeSim on native kernels (numba, numpy fallback); "
+                "bit-reproducible per (seed, query)",
+        config_keys=tuple(k for k in _PROBESIM_KEYS if k != "engine") + ("strategy",),
+        probe_config=_PROBESIM_PROBE,
+        capabilities=Capabilities(
+            method="probesim-native", exact=False, index_based=False,
+            supports_dynamic=True, vectorized=True, parallel_safe=True,
+            native=True,
+        ),
+    )
+
     def walkindex_factory(graph, **config):
         """ProbeSim behind the §7 walk-tree cache."""
         return WalkIndex(graph, **config)

@@ -43,7 +43,7 @@ import math
 import numpy as np
 from scipy import sparse
 
-from repro.api.estimator import Capabilities, SimRankEstimator, warn_deprecated_verb
+from repro.api.estimator import Capabilities, SimRankEstimator
 from repro.core.results import SimRankResult
 from repro.errors import ConfigurationError, QueryError
 from repro.graph.csr import as_csr
@@ -194,11 +194,6 @@ class SLINGIndex(SimRankEstimator):
         """
         self._csr = as_csr(self._source_graph)
         self._build()
-
-    def rebuild(self) -> None:
-        """Deprecated alias of :meth:`sync` (the unified maintenance verb)."""
-        warn_deprecated_verb("SLINGIndex", "rebuild")
-        self.sync()
 
     def capabilities(self) -> Capabilities:
         """Approximate, index-based, static (rebuild-only maintenance)."""

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api.estimator import Capabilities, SimRankEstimator, warn_deprecated_verb
+from repro.api.estimator import Capabilities, SimRankEstimator
 from repro.core.results import SimRankResult
 from repro.errors import QueryError
 from repro.graph.csr import as_csr
@@ -111,11 +111,6 @@ class TSFIndex(SimRankEstimator):
         """
         self._csr = as_csr(self._source_graph)
         self._build()
-
-    def rebuild(self) -> None:
-        """Deprecated alias of :meth:`sync` (the unified maintenance verb)."""
-        warn_deprecated_verb("TSFIndex", "rebuild")
-        self.sync()
 
     def capabilities(self) -> Capabilities:
         """Approximate, index-based, with incremental dynamic maintenance."""

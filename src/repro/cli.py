@@ -121,9 +121,12 @@ def _add_query_options(parser: argparse.ArgumentParser) -> None:
                         choices=("basic", "batch", "randomized", "hybrid"),
                         help="probesim strategy (default: the engine's hybrid)")
     parser.add_argument("--engine", default=None,
-                        choices=("auto", "loop", "batched"),
-                        help="probesim probe execution: per-prefix 'loop' or "
-                             "the vectorized trie-sharing 'batched' kernel "
+                        choices=("auto", "loop", "batched", "native"),
+                        help="probesim probe execution: per-prefix 'loop', "
+                             "the vectorized trie-sharing 'batched' kernel, "
+                             "or the compiled 'native' kernels (numba when "
+                             "installed, numpy fallback otherwise; "
+                             "bit-reproducible per seed+query) "
                              "(default auto: batched for --strategy batch)")
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--num-walks", type=int, default=None, dest="num_walks",
@@ -168,40 +171,81 @@ def _cmd_topk(args) -> int:
     return 0
 
 
-def methods_table_rows(markdown: bool = False) -> list[dict[str, str]]:
-    """Registry-derived rows of the methods table (CLI + README generator).
+#: capability columns of the methods table, in render order; the single
+#: source for the terminal table, the README markdown table, and the
+#: ``methods --json`` dump (which adds nothing but types and runtime info).
+METHOD_CAPABILITY_COLUMNS = (
+    "exact", "index", "dynamic", "incremental", "vectorized", "parallel",
+    "native",
+)
 
-    One row per registered method: name, the five capability flags as
-    yes/no strings, and the summary.  The ``markdown`` variant additionally
-    carries the accepted config keys and wraps identifiers in backticks —
-    that is the exact row set the README sync tool
-    (``tools/update_readme_methods.py``) and its guard test embed, so the
-    README can never drift from the registry.  The plain variant stays
-    terminal-width-friendly for ``repro methods``.
+
+def methods_rows() -> list[dict[str, object]]:
+    """Registry-derived raw rows (bools intact) of the methods table.
+
+    One row per registered method: name, the capability flags of
+    ``METHOD_CAPABILITY_COLUMNS``, the accepted config keys, and the
+    summary.  Every rendering of the methods table — ``repro methods``,
+    ``repro methods --markdown`` (and through it the README), and
+    ``repro methods --json`` — derives from these rows, so they cannot
+    drift from each other or from the registry.
     """
     rows = []
     for row in capability_rows():
         name = str(row["name"])
-        rendered = {
-            "method": f"`{name}`" if markdown else name,
-            "exact": "yes" if row["exact"] else "no",
-            "index": "yes" if row["index"] else "no",
-            "dynamic": "yes" if row["dynamic"] else "no",
-            "incremental": "yes" if row["incremental"] else "no",
-            "vectorized": "yes" if row["vectorized"] else "no",
-            "parallel": "yes" if row["parallel"] else "no",
-        }
-        if markdown:
-            rendered["config keys"] = ", ".join(
-                f"`{key}`" for key in sorted(get_entry(name).config_keys)
-            )
+        rendered: dict[str, object] = {"method": name}
+        for column in METHOD_CAPABILITY_COLUMNS:
+            rendered[column] = bool(row[column])
+        rendered["config_keys"] = sorted(get_entry(name).config_keys)
         rendered["summary"] = str(row["summary"])
         rows.append(rendered)
     return rows
 
 
+def methods_table_rows(markdown: bool = False) -> list[dict[str, str]]:
+    """The methods table as strings (CLI table + README generator).
+
+    The ``markdown`` variant additionally carries the accepted config keys
+    and wraps identifiers in backticks — that is the exact row set the
+    README sync tool (``tools/update_readme_methods.py``) and its guard
+    test embed, so the README can never drift from the registry.  The
+    plain variant stays terminal-width-friendly for ``repro methods``.
+    """
+    rows = []
+    for raw in methods_rows():
+        name = str(raw["method"])
+        rendered = {"method": f"`{name}`" if markdown else name}
+        for column in METHOD_CAPABILITY_COLUMNS:
+            rendered[column] = "yes" if raw[column] else "no"
+        if markdown:
+            rendered["config keys"] = ", ".join(
+                f"`{key}`" for key in raw["config_keys"]
+            )
+        rendered["summary"] = str(raw["summary"])
+        rows.append(rendered)
+    return rows
+
+
+def methods_json_payload() -> dict[str, object]:
+    """The ``methods --json`` document: raw rows plus runtime engine info.
+
+    The rows are :func:`methods_rows` verbatim (the same source as both
+    table renderings).  ``native_backend`` reports which native backend
+    this environment selected (``"numba"``/``"numpy"``) — runtime
+    information that the environment-independent ``native`` column
+    deliberately excludes.
+    """
+    from repro.core.native import native_backend
+
+    return {"methods": methods_rows(), "native_backend": native_backend()}
+
+
 def _cmd_methods(args) -> int:
-    if getattr(args, "markdown", False):
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(methods_json_payload(), indent=2))
+    elif getattr(args, "markdown", False):
         print(markdown_table(methods_table_rows(markdown=True)))
     else:
         print(format_table(methods_table_rows(), title="registered SimRank methods"))
@@ -518,6 +562,10 @@ def build_parser() -> argparse.ArgumentParser:
     methods = sub.add_parser("methods", help="list registered methods + capabilities")
     methods.add_argument("--markdown", action="store_true",
                          help="emit the table as GitHub markdown (README format)")
+    methods.add_argument("--json", action="store_true",
+                         help="emit the registry as JSON (raw capability "
+                              "flags, config keys, and the runtime "
+                              "native_backend selection)")
     methods.set_defaults(func=_cmd_methods)
 
     workload = sub.add_parser(

@@ -34,8 +34,9 @@ STRATEGIES = ("basic", "batch", "randomized", "hybrid")
 #: deterministic-probe backends.
 BACKENDS = ("vectorized", "python")
 
-#: probe-execution engines (see repro.core.batch_engine for "batched").
-ENGINES = ("auto", "loop", "batched")
+#: probe-execution engines (see repro.core.batch_engine for "batched" and
+#: repro.core.native for "native").
+ENGINES = ("auto", "loop", "batched", "native")
 
 
 @dataclass(frozen=True)
@@ -139,14 +140,23 @@ class ProbeSimConfig:
         prefix through the per-walk code path (the oracle engine);
         ``"batched"`` runs the whole walk batch as one level-synchronous
         sweep over the prefix trie (:mod:`repro.core.batch_engine`) — one
-        sparse matmul per trie level instead of one Python probe per prefix.
+        sparse matmul per trie level instead of one Python probe per prefix;
+        ``"native"`` (:mod:`repro.core.native`) fuses walk sampling, trie
+        construction, and a hybrid sparse/dense level sweep into compiled
+        kernels (numba when installed, a byte-identical numpy fallback
+        otherwise) driven by a counter-based RNG keyed on
+        ``(seed, query, walk, step)`` — every query's bits depend only on
+        ``(config, graph, seed, query)``, never on batch composition.
         The default ``"auto"`` picks ``"batched"`` for the deterministic
         dedup strategy (``strategy="batch"`` on the vectorized backend,
         whose results it reproduces to float round-off) and ``"loop"``
         everywhere else (``basic`` is the per-walk ablation baseline;
         ``randomized``/``hybrid`` draw RNG inside individual probes).
-        ``"batched"`` requires a deterministic strategy and the vectorized
-        backend.
+        ``"auto"`` never resolves to ``"native"``: the native RNG is a
+        different (counter-based) stream, so its scores are statistically
+        equivalent but not bit-equal to the other engines' — selecting it
+        is an explicit choice.  Both ``"batched"`` and ``"native"`` require
+        a deterministic strategy and the vectorized backend.
     sampling_fraction / truncation_fraction / pruning_fraction:
         Theorem 2 budget split, see :class:`ErrorBudget`.
     compensate_truncation:
@@ -214,16 +224,16 @@ class ProbeSimConfig:
             raise ConfigurationError(
                 f"engine must be one of {ENGINES}, got {self.engine!r}"
             )
-        if self.engine == "batched":
+        if self.engine in ("batched", "native"):
             if self.strategy in ("randomized", "hybrid"):
                 raise ConfigurationError(
-                    "engine='batched' shares deterministic probes across the "
-                    f"prefix trie; strategy {self.strategy!r} draws RNG inside "
-                    "individual probes — use engine='loop' (or 'auto')"
+                    f"engine={self.engine!r} shares deterministic probes across "
+                    f"the prefix trie; strategy {self.strategy!r} draws RNG "
+                    "inside individual probes — use engine='loop' (or 'auto')"
                 )
             if self.backend != "vectorized":
                 raise ConfigurationError(
-                    "engine='batched' is inherently vectorized; "
+                    f"engine={self.engine!r} is inherently vectorized; "
                     "backend='python' is only available with engine='loop'"
                 )
         if self.num_walks is not None:
@@ -265,11 +275,14 @@ class ProbeSimConfig:
         return math.sqrt(self.c)
 
     def resolved_engine(self) -> str:
-        """The engine a query will actually run on (``"loop"``/``"batched"``).
+        """The engine a query will actually run on
+        (``"loop"``/``"batched"``/``"native"``).
 
         ``"auto"`` resolves to the batched trie-sharing engine exactly when
         its results are interchangeable with the loop engine's: the
         deterministic dedup strategy (``"batch"``) on the vectorized backend.
+        It never resolves to ``"native"`` — the native engine's counter RNG
+        is a different stream, so it must be opted into explicitly.
         """
         if self.engine != "auto":
             return self.engine

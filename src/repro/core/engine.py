@@ -4,7 +4,7 @@
 with the guarantee of Theorem 1/2: with probability at least ``1 - delta``,
 every estimate is within ``eps_a`` of the true SimRank.  No index is built —
 construction only snapshots the graph's adjacency into CSR arrays, which is
-why the method supports dynamic graphs: after updates, :meth:`refresh` (O(m),
+why the method supports dynamic graphs: after updates, :meth:`sync` (O(m),
 just re-packing adjacency) brings the engine current, versus hours of index
 reconstruction for SLING-style methods.
 
@@ -28,8 +28,13 @@ Orthogonal to the strategy, ``ProbeSimConfig.engine`` selects how probes are
 *executed*: ``"loop"`` is the per-prefix code path below, ``"batched"`` runs
 the whole walk batch (and whole query batches via :meth:`single_source_many`)
 as one level-synchronous sweep over the prefix trie — see
-:mod:`repro.core.batch_engine`.  ``"auto"`` (the default) picks ``batched``
-for the deterministic ``batch`` strategy and ``loop`` otherwise.
+:mod:`repro.core.batch_engine` — and ``"native"`` runs walk sampling, trie
+construction, and a hybrid sparse/dense sweep through the compiled kernels
+of :mod:`repro.core.native`, with a counter RNG keyed on ``(seed, query)``
+that makes every query's bits independent of batch composition.  ``"auto"``
+(the default) picks ``batched`` for the deterministic ``batch`` strategy and
+``loop`` otherwise; ``native`` is always an explicit opt-in because its RNG
+stream differs from the shared ``numpy.random`` one.
 """
 
 from __future__ import annotations
@@ -38,9 +43,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.api.estimator import Capabilities, SimRankEstimator, warn_deprecated_verb
+from repro.api.estimator import Capabilities, SimRankEstimator
 from repro.core.batch_engine import probe_trie_forest
 from repro.core.config import ProbeSimConfig
+from repro.core.native.rng import stream_base
 from repro.core.probe import (
     frontier_edge_budget,
     probe_deterministic,
@@ -120,20 +126,17 @@ class ProbeSim(SimRankEstimator):
         """
         self._csr = as_csr(self._source_graph)
 
-    def refresh(self) -> None:
-        """Deprecated alias of :meth:`sync` (the unified maintenance verb)."""
-        warn_deprecated_verb("ProbeSim", "refresh")
-        self.sync()
-
     def capabilities(self) -> Capabilities:
         """Approximate, index-free, dynamic-friendly (O(m) sync)."""
+        resolved = self.config.resolved_engine()
         return Capabilities(
             method=self._method_label(),
             exact=False,
             index_based=False,
             supports_dynamic=True,
-            vectorized=self.config.resolved_engine() == "batched",
+            vectorized=resolved in ("batched", "native"),
             parallel_safe=True,
+            native=resolved == "native",
         )
 
     def single_source(self, query: int) -> SimRankResult:
@@ -177,9 +180,11 @@ class ProbeSim(SimRankEstimator):
     # ------------------------------------------------------------------ #
 
     def _method_label(self) -> str:
-        """Result/capability label: strategy, or the explicit batched engine."""
+        """Result/capability label: strategy, or the explicit execution engine."""
         if self.config.engine == "batched":
             return "probesim-batched"
+        if self.config.engine == "native":
+            return "probesim-native"
         return f"probesim-{self.config.strategy}"
 
     def _finalize(self, estimates: np.ndarray, query: int) -> np.ndarray:
@@ -194,8 +199,11 @@ class ProbeSim(SimRankEstimator):
         return estimates
 
     def _run(self, query: int, stats: QueryStats) -> np.ndarray:
-        if self.config.resolved_engine() == "batched":
+        resolved = self.config.resolved_engine()
+        if resolved == "batched":
             return self._run_batched_engine(query, stats)
+        if resolved == "native":
+            return self._run_native_engine(query, stats)
         strategy = self.config.strategy
         walks = self._sample_walks(query, stats)
         if strategy == "basic":
@@ -251,6 +259,47 @@ class ProbeSim(SimRankEstimator):
         acc = probe_trie_forest(self._csr, [trie], self.config.sqrt_c)[:, 0]
         acc /= trie.num_walks
         return acc
+
+    # ------------------------------------------------------------------ #
+    # native kernel engine (repro.core.native)
+    # ------------------------------------------------------------------ #
+
+    def _native_base(self, query: int) -> int:
+        """The counter-RNG stream origin for one native query.
+
+        With an integer seed the origin is a pure function of
+        ``(seed, query)`` — the bit-reproducibility contract: the same query
+        returns the same bytes no matter when it runs, what ran before it,
+        or how a serving tier batched it.  Without one there is nothing to
+        reproduce, so the origin is drawn from the engine's shared RNG.
+        """
+        seed = self.config.seed
+        if isinstance(seed, int) and not isinstance(seed, bool):
+            return stream_base(seed, query)
+        return stream_base(int(self._rng.integers(1 << 63)), query)
+
+    def _run_native_engine(self, query: int, stats: QueryStats) -> np.ndarray:
+        from repro.core import native
+
+        cfg = self.config
+        ctx = native.context_for(self._csr, cfg.sqrt_c)
+        scores, trie = native.run_query(
+            ctx,
+            query,
+            cfg.walk_count(self._csr.num_nodes),
+            cfg.sqrt_c,
+            cfg.walk_truncation(),
+            self._native_base(query),
+            native.resolve_impl(),
+            kernel_trie=native.native_backend() == "numba",
+        )
+        stats.num_walks = trie.num_walks
+        # every walk contributes its root step plus one per surviving level
+        stats.walk_length_total = trie.num_walks + sum(trie.level_weight_sums())
+        stats.num_tree_nodes = trie.num_tree_nodes
+        stats.num_probes = trie.num_tree_nodes
+        scores /= trie.num_walks
+        return scores
 
     #: dense cells (n x columns) a single forest sweep may hold in flight;
     #: ~32 MB of float64 — big enough to fuse whole service batches on small

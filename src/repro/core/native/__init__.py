@@ -1,0 +1,68 @@
+"""Native ProbeSim hot path: numba kernels with a pure-numpy fallback.
+
+The backend is selected once at import: ``"numba"`` when numba imports
+cleanly (kernels are ``@njit(cache=True)``-compiled, so worker processes
+of the parallel/sharded services reuse one on-disk compilation), else
+``"numpy"`` — the vectorized fallback in :mod:`.fallback`, which is
+byte-identical to the kernels per ``(seed, query)`` (held by the parity
+suite).  ``REPRO_NATIVE_BACKEND=numpy`` forces the fallback on a numba
+install; forcing ``numba`` without numba silently stays on ``numpy``
+(there is nothing to force).
+
+The selected backend is reported through ``Capabilities`` /
+``repro methods --json`` as ``native_backend``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.native.engine import (
+    NativeContext,
+    build_trie_kernel,
+    context_for,
+    make_context,
+    probe_trie,
+    run_query,
+)
+from repro.core.native.kernels import HAVE_NUMBA
+from repro.core.native.rng import stream_base, walk_bases
+
+__all__ = [
+    "HAVE_NUMBA",
+    "NATIVE_BACKEND",
+    "NativeContext",
+    "build_trie_kernel",
+    "context_for",
+    "make_context",
+    "native_backend",
+    "probe_trie",
+    "resolve_impl",
+    "run_query",
+    "stream_base",
+    "walk_bases",
+]
+
+_forced = os.environ.get("REPRO_NATIVE_BACKEND", "").strip().lower()
+if _forced == "numpy":
+    NATIVE_BACKEND = "numpy"
+else:
+    NATIVE_BACKEND = "numba" if HAVE_NUMBA else "numpy"
+
+
+def native_backend() -> str:
+    """The backend the native engine selected at import: numba or numpy."""
+    return NATIVE_BACKEND
+
+
+def resolve_impl(backend: str | None = None):
+    """The kernel namespace for ``backend`` (default: the selected one)."""
+    if backend is None:
+        backend = NATIVE_BACKEND
+    if backend == "numba":
+        from repro.core.native import kernels
+
+        return kernels
+    from repro.core.native import fallback
+
+    return fallback

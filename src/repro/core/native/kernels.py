@@ -1,0 +1,311 @@
+"""Loop kernels for the native engine (numba ``@njit(cache=True)`` twins).
+
+Every kernel here is the sequential twin of a vectorized primitive in
+:mod:`repro.core.native.fallback` and produces **byte-identical** output:
+the float accumulation order of each twin replays the documented order of
+its vectorized counterpart (see the fallback module docstring).  When
+numba is importable each kernel is compiled with ``@njit(cache=True)``
+(the on-disk cache makes worker processes — the parallel/sharded services
+— reuse one compilation); when it is not, the same functions run as plain
+Python, which is also exactly what ``NUMBA_DISABLE_JIT=1`` yields on a
+numba install — the parity CI job runs the suite both ways.
+
+All randomness is the counter RNG of :mod:`repro.core.native.rng`; the
+uint64 arithmetic wraps mod 2^64 (numba semantics).  In plain-Python mode
+the same wrap raises numpy scalar overflow warnings, so the public
+wrappers run the kernels under ``np.errstate(over="ignore")``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.native.rng import GOLDEN, MIX1, MIX2, U53
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the fallback container path
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):
+        """Identity stand-in for ``numba.njit`` when numba is absent.
+
+        The decorated kernels then run as plain Python — the same code
+        path ``NUMBA_DISABLE_JIT=1`` exercises on a numba install —
+        while the hot-path work routes through :mod:`.fallback`.
+        """
+        if args and callable(args[0]):
+            return args[0]
+        return lambda fn: fn
+
+
+_GOLDEN = np.uint64(GOLDEN)
+_MIX1 = np.uint64(MIX1)
+_MIX2 = np.uint64(MIX2)
+_S30 = np.uint64(30)
+_S27 = np.uint64(27)
+_S31 = np.uint64(31)
+_S11 = np.uint64(11)
+
+
+@njit(cache=True)
+def _k_sample_walks(in_indptr, in_indices, in_degrees, bases, query, sqrt_c, nodes, lengths):
+    count = len(bases)
+    max_len = nodes.shape[1]
+    for i in range(count):
+        base = bases[i]
+        cur = query
+        length = 1
+        for step in range(max_len - 1):
+            z = base + np.uint64(2 * step + 1) * _GOLDEN
+            z = (z ^ (z >> _S30)) * _MIX1
+            z = (z ^ (z >> _S27)) * _MIX2
+            z = z ^ (z >> _S31)
+            if float(z >> _S11) * U53 >= sqrt_c:
+                break
+            deg = in_degrees[cur]
+            if deg == 0:
+                break
+            z = base + np.uint64(2 * step + 2) * _GOLDEN
+            z = (z ^ (z >> _S30)) * _MIX1
+            z = (z ^ (z >> _S27)) * _MIX2
+            z = z ^ (z >> _S31)
+            idx = np.int64(float(z >> _S11) * U53 * deg)
+            if idx >= deg:
+                idx = deg - 1
+            cur = np.int64(in_indices[in_indptr[cur] + idx])
+            nodes[i, step + 1] = cur
+            length += 1
+        lengths[i] = length
+
+
+def sample_walks(in_indptr, in_indices, in_degrees, bases, query, sqrt_c, max_len):
+    """Twin of :func:`repro.core.native.fallback.sample_walks`."""
+    count = len(bases)
+    nodes = np.full((count, max_len), -1, dtype=np.int32)
+    nodes[:, 0] = query
+    lengths = np.ones(count, dtype=np.int64)
+    with np.errstate(over="ignore"):
+        _k_sample_walks(
+            in_indptr, in_indices, in_degrees, bases,
+            np.int64(query), sqrt_c, nodes, lengths,
+        )
+    return nodes, lengths
+
+
+@njit(cache=True)
+def _k_unique_counts(keys):
+    """``np.unique(keys, return_inverse=True, return_counts=True)`` twin."""
+    order = np.argsort(keys, kind="mergesort")
+    count = len(keys)
+    distinct = np.empty(count, dtype=keys.dtype)
+    counts = np.empty(count, dtype=np.int64)
+    inverse = np.empty(count, dtype=np.int64)
+    groups = 0
+    for pos in range(count):
+        idx = order[pos]
+        if pos == 0 or keys[idx] != distinct[groups - 1]:
+            distinct[groups] = keys[idx]
+            counts[groups] = 0
+            groups += 1
+        counts[groups - 1] += 1
+        inverse[idx] = groups - 1
+    return distinct[:groups], inverse, counts[:groups]
+
+
+def unique_counts(keys):
+    """Python wrapper (materializes the right dtypes for empty input)."""
+    if len(keys) == 0:
+        return (
+            np.empty(0, dtype=keys.dtype),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    return _k_unique_counts(keys)
+
+
+@njit(cache=True)
+def _k_sparse_merge_seed(keys, data, k, parents, seed_keys, seed_weights, k_next):
+    nnz = len(keys)
+    num_seeds = len(seed_keys)
+    out_data = np.empty(nnz + num_seeds, dtype=np.float64)
+    out_keys = np.empty(nnz + num_seeds, dtype=np.int64)
+    out_n = 0
+    s = 0
+    run_key = np.int64(-1)
+    for e in range(nnz):
+        key = (keys[e] // k) * k_next + parents[keys[e] % k]
+        if out_n > 0 and key == run_key:
+            out_data[out_n - 1] += data[e]
+            continue
+        # a new run begins.  Close the previous run first: a seed with
+        # the run's key is spliced *after* its entries (the vectorized
+        # twin inserts at side="right"), then seeds strictly before the
+        # new key become runs of their own (seed keys are unique).
+        if out_n > 0 and s < num_seeds and seed_keys[s] == run_key:
+            out_data[out_n - 1] += seed_weights[s]
+            s += 1
+        while s < num_seeds and seed_keys[s] < key:
+            out_keys[out_n] = seed_keys[s]
+            out_data[out_n] = seed_weights[s]
+            out_n += 1
+            s += 1
+        out_keys[out_n] = key
+        out_data[out_n] = data[e]
+        out_n += 1
+        run_key = key
+    if out_n > 0 and s < num_seeds and seed_keys[s] == run_key:
+        out_data[out_n - 1] += seed_weights[s]
+        s += 1
+    while s < num_seeds:
+        out_keys[out_n] = seed_keys[s]
+        out_data[out_n] = seed_weights[s]
+        out_n += 1
+        s += 1
+    return out_keys[:out_n], out_data[:out_n]
+
+
+def sparse_merge_seed(cur, k, parents, seed_keys, seed_weights, k_next):
+    """Twin of :func:`repro.core.native.fallback.sparse_merge_seed`."""
+    if cur is None or len(cur[0]) == 0:
+        return seed_keys.copy(), seed_weights.copy()
+    keys, data = cur
+    return _k_sparse_merge_seed(
+        keys, data, np.int64(k), parents,
+        seed_keys, seed_weights.astype(np.float64), np.int64(k_next),
+    )
+
+
+@njit(cache=True)
+def _k_sparse_propagate_zero(out_indptr, out_indices, target_weights,
+                             keys, data, n, k_next, next_nodes):
+    # pass 1: expand every entry's out-edges into a flat (n * k_next)
+    # accumulator, adding in expansion order — the order the vectorized
+    # twin's ``bincount`` over the expanded contribution list adds in.
+    total = 0
+    for e in range(len(keys)):
+        row = keys[e] // k_next
+        total += out_indptr[row + 1] - out_indptr[row]
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    flat = np.zeros(n * k_next, dtype=np.float64)
+    touched = np.empty(total, dtype=np.int64)
+    t = 0
+    for e in range(len(keys)):
+        row = keys[e] // k_next
+        col = keys[e] % k_next
+        value = data[e]
+        for jj in range(out_indptr[row], out_indptr[row + 1]):
+            target = np.int64(out_indices[jj])
+            flat_key = target * k_next + col
+            flat[flat_key] += target_weights[target] * value
+            touched[t] = flat_key
+            t += 1
+    # emit distinct keys ascending (np.unique's sorted order)
+    out_keys = np.unique(touched[:t])
+    out_data = np.empty(len(out_keys), dtype=np.float64)
+    for e in range(len(out_keys)):
+        out_data[e] = flat[out_keys[e]]
+        flat[out_keys[e]] = 0.0
+    # first-meeting zeros: binary-search each column's avoided key
+    for j in range(k_next):
+        want = next_nodes[j] * k_next + j
+        lo = 0
+        hi = len(out_keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if out_keys[mid] < want:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(out_keys) and out_keys[lo] == want:
+            out_data[lo] = 0.0
+    return out_keys, out_data
+
+
+def sparse_propagate_zero(out_indptr, out_indices, target_weights, merged,
+                          k_next, next_nodes):
+    """Twin of :func:`repro.core.native.fallback.sparse_propagate_zero`."""
+    keys, data = merged
+    return _k_sparse_propagate_zero(
+        out_indptr, out_indices, target_weights, keys, data,
+        np.int64(len(target_weights)), np.int64(k_next), next_nodes,
+    )
+
+
+@njit(cache=True)
+def _k_sparse_to_dense(keys, data, n, k):
+    acc = np.zeros((n, k), dtype=np.float64)
+    for e in range(len(keys)):
+        acc[keys[e] // k, keys[e] % k] = data[e]
+    return acc
+
+
+def sparse_to_dense(cur, n, k):
+    """Twin of :func:`repro.core.native.fallback.sparse_to_dense`."""
+    keys, data = cur
+    return _k_sparse_to_dense(keys, data, np.int64(n), np.int64(k))
+
+
+@njit(cache=True)
+def _k_dense_propagate(acc, op_data, op_indices, op_indptr, next_nodes):
+    n, k_next = acc.shape
+    out = np.zeros((n, k_next), dtype=np.float64)
+    for i in range(n):
+        for jj in range(op_indptr[i], op_indptr[i + 1]):
+            src = op_indices[jj]
+            weight = op_data[jj]
+            for j in range(k_next):
+                out[i, j] += weight * acc[src, j]
+    for j in range(k_next):
+        out[next_nodes[j], j] = 0.0
+    return out
+
+
+def dense_propagate(acc, op, next_nodes):
+    """Twin of :func:`repro.core.native.fallback.dense_propagate`."""
+    return _k_dense_propagate(
+        acc, op.data, np.asarray(op.indices, dtype=np.int64),
+        np.asarray(op.indptr, dtype=np.int64), next_nodes,
+    )
+
+
+@njit(cache=True)
+def _k_dense_level(acc, lev_nodes, weights, parents, op_data, op_indices,
+                   op_indptr, next_nodes, k_next):
+    n, k = acc.shape
+    for j in range(k):
+        acc[lev_nodes[j], j] += weights[j]
+    merged = np.zeros((n, k_next), dtype=np.float64)
+    for row in range(n):
+        for j in range(k):  # sibling runs are adjacent; sum left-to-right
+            merged[row, parents[j]] += acc[row, j]
+    out = np.zeros((n, k_next), dtype=np.float64)
+    for i in range(n):
+        for jj in range(op_indptr[i], op_indptr[i + 1]):
+            src = op_indices[jj]
+            weight = op_data[jj]
+            for j in range(k_next):
+                out[i, j] += weight * merged[src, j]
+    for j in range(k_next):
+        out[next_nodes[j], j] = 0.0
+    return out
+
+
+def dense_level(acc, lev_nodes, weights, parents, op, next_nodes, k_next):
+    """Twin of :func:`repro.core.native.fallback.dense_level`.
+
+    The sibling merge accumulates ``acc`` columns left-to-right per parent
+    run — the same per-cell order as the fallback's round-by-round merge;
+    zero columns for childless parents fall out of starting from a zero
+    matrix.  The dense product accumulates in op-row storage order like
+    scipy's ``csr_matvecs``.
+    """
+    return _k_dense_level(
+        acc, lev_nodes, weights.astype(np.float64), parents,
+        op.data, np.asarray(op.indices, dtype=np.int64),
+        np.asarray(op.indptr, dtype=np.int64),
+        next_nodes, np.int64(k_next),
+    )

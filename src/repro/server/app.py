@@ -11,13 +11,29 @@
 
 Endpoints (all JSON)::
 
-    GET  /healthz             liveness + mounted methods
-    GET  /metrics             Prometheus text exposition
-    POST /single_source       {"query": 3, "method"?: ..., "limit"?: 10}
-    POST /topk                {"query": 3, "k"?: 10, "method"?: ...}
-    POST /single_source_many  {"queries": [...], "method"?, "limit"?}
-    POST /topk_many           {"queries": [...], "k"?, "method"?}
-    POST /apply_edges         {"added": [[s, t], ...], "removed": [...]}
+    GET  /healthz                liveness + mounted methods
+    GET  /metrics                Prometheus text exposition
+    POST /v1/single_source       {"query": 3, "method"?: ..., "limit"?: 10}
+    POST /v1/topk                {"query": 3, "k"?: 10, "method"?: ...}
+    POST /v1/single_source_many  {"queries": [...], "method"?, "limit"?}
+    POST /v1/topk_many           {"queries": [...], "k"?, "method"?}
+    POST /v1/apply_edges         {"added": [[s, t], ...], "removed": [...]}
+
+The query API is versioned under ``/v1``; the ops probes (``/healthz``,
+``/metrics``) are unversioned.  The pre-2.0 bare paths
+(``/single_source`` etc.) remain as aliases that answer **byte-identically**
+to their ``/v1`` twin, plus two response headers announcing the move:
+``Deprecation: true`` and ``Link: </v1/...>; rel="successor-version"``.
+
+Every 4xx/5xx answers a uniform machine-readable envelope::
+
+    {"error": {"code": "<stable-slug>", "message": "...", "retry_after"?: s}}
+
+with one stable slug per status — ``bad_request`` (400), ``not_found``
+(404), ``method_not_allowed`` (405), ``payload_too_large`` (413),
+``internal`` (500), ``overloaded`` (503, carries ``retry_after``), and
+``deadline_exceeded`` (504) — so clients branch on ``error.code``, never
+on message prose.
 
 Request handling order is deliberate: parse → route → **admission** →
 coalesce/dispatch.  A request shed by a full lane is answered ``503``
@@ -286,22 +302,38 @@ class SimRankHTTPApp:
 
     def _error_response(self, status: int, message: str,
                         keep_alive: bool = True,
-                        extra: tuple[tuple[str, str], ...] = ()) -> bytes:
+                        extra: tuple[tuple[str, str], ...] = (),
+                        retry_after: float | None = None) -> bytes:
+        """Uniform error envelope: ``{"error": {"code", "message", ...}}``.
+
+        ``code`` is the stable slug clients branch on (:data:`_ERROR_CODES`);
+        ``retry_after`` mirrors the ``Retry-After`` header into the body so
+        JSON-only clients need not parse headers to back off.
+        """
         self._count(status)
+        error: dict[str, object] = {
+            "code": _ERROR_CODES[status], "message": message,
+        }
+        if retry_after is not None:
+            error["retry_after"] = retry_after
         return render_response(
-            status, _json_bytes({"error": message}),
+            status, _json_bytes({"error": error}),
             extra_headers=extra, keep_alive=keep_alive,
         )
 
     def _ok(self, body: bytes, content_type: str = "application/json",
-            keep_alive: bool = True) -> bytes:
+            keep_alive: bool = True,
+            extra: tuple[tuple[str, str], ...] = ()) -> bytes:
         self._count(200)
         return render_response(200, body, content_type=content_type,
-                               keep_alive=keep_alive)
+                               extra_headers=extra, keep_alive=keep_alive)
 
     async def _respond(self, request) -> bytes:
         """Route one request to its handler and map errors to statuses."""
         keep_alive = request.keep_alive
+        # Deprecated bare aliases answer byte-identical bodies; only these
+        # two headers distinguish them from their /v1 successor.
+        alias = _alias_headers(request.path)
         route = _ROUTES.get(request.path)
         if route is None:
             return self._error_response(404, f"no route {request.path!r}",
@@ -310,13 +342,14 @@ class SimRankHTTPApp:
         if request.method != verb:
             return self._error_response(
                 405, f"{request.path} expects {verb}", keep_alive=keep_alive,
-                extra=(("Allow", verb),),
+                extra=(("Allow", verb), *alias),
             )
         handler = getattr(self, handler_name)
         try:
             if lane is None:
                 body, content_type = await handler(request)
-                return self._ok(body, content_type, keep_alive=keep_alive)
+                return self._ok(body, content_type, keep_alive=keep_alive,
+                                extra=alias)
             with self.admission.admit(lane) as permit:
                 deadline = self._deadline(request)
                 try:
@@ -327,19 +360,23 @@ class SimRankHTTPApp:
                     permit.record_timeout()
                     return self._error_response(
                         504, f"deadline of {deadline.seconds:g}s expired",
-                        keep_alive=keep_alive,
+                        keep_alive=keep_alive, extra=alias,
                     )
-            return self._ok(body, content_type, keep_alive=keep_alive)
+            return self._ok(body, content_type, keep_alive=keep_alive,
+                            extra=alias)
         except AdmissionError as exc:
             return self._error_response(
                 503, str(exc), keep_alive=keep_alive,
-                extra=(("Retry-After", f"{exc.retry_after:g}"),),
+                extra=(("Retry-After", f"{exc.retry_after:g}"), *alias),
+                retry_after=exc.retry_after,
             )
         except (ProtocolError, QueryError, ConfigurationError, GraphError) as exc:
-            return self._error_response(400, str(exc), keep_alive=keep_alive)
+            return self._error_response(400, str(exc), keep_alive=keep_alive,
+                                        extra=alias)
         except Exception as exc:  # noqa: BLE001 — a handler bug must not kill the loop
             return self._error_response(
-                500, f"{type(exc).__name__}: {exc}", keep_alive=keep_alive
+                500, f"{type(exc).__name__}: {exc}", keep_alive=keep_alive,
+                extra=alias,
             )
 
     def _deadline(self, request) -> Deadline:
@@ -527,13 +564,52 @@ class SimRankHTTPApp:
         return _json_bytes({"applied": int(applied)}), "application/json"
 
 
-#: path -> (verb, handler attribute, admission lane or None for ops routes).
-_ROUTES = {
-    "/healthz": ("GET", "_handle_healthz", None),
-    "/metrics": ("GET", "_handle_metrics", None),
+#: stable machine-readable slugs of the error envelope, keyed by status.
+#: Slugs are API surface: clients branch on them, so renaming one is a
+#: breaking change even though the human-readable message may evolve freely.
+_ERROR_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    413: "payload_too_large",
+    500: "internal",
+    503: "overloaded",
+    504: "deadline_exceeded",
+}
+
+#: the versioned query API: bare path -> (verb, handler attribute, admission
+#: lane).  Canonical routes live under ``/v1``; the bare paths stay mounted
+#: as deprecated aliases (same handler, same lane, byte-identical bodies).
+_API_ROUTES = {
     "/single_source": ("POST", "_handle_single_source", "single_source"),
     "/topk": ("POST", "_handle_topk", "topk"),
     "/single_source_many": ("POST", "_handle_single_source_many", "batch"),
     "/topk_many": ("POST", "_handle_topk_many", "batch"),
     "/apply_edges": ("POST", "_handle_apply_edges", "update"),
 }
+
+#: path -> (verb, handler attribute, admission lane or None for ops routes).
+#: Ops probes are unversioned — scrapers and orchestrators address them by
+#: convention, not through the API's compatibility contract.
+_ROUTES = {
+    "/healthz": ("GET", "_handle_healthz", None),
+    "/metrics": ("GET", "_handle_metrics", None),
+}
+for _path, _spec in _API_ROUTES.items():
+    _ROUTES["/v1" + _path] = _spec
+    _ROUTES[_path] = _spec
+del _path, _spec
+
+
+def _alias_headers(path: str) -> tuple[tuple[str, str], ...]:
+    """Deprecation headers for a bare (unversioned) API path, else ``()``.
+
+    RFC 8594 ``Deprecation: true`` plus a ``Link`` naming the successor —
+    the alias contract is "same bytes, plus a forwarding address".
+    """
+    if path in _API_ROUTES:
+        return (
+            ("Deprecation", "true"),
+            ("Link", f'</v1{path}>; rel="successor-version"'),
+        )
+    return ()

@@ -69,7 +69,7 @@ def requests_from_trace(
         raise ConfigurationError(
             f"kind must be 'single_source' or 'topk', got {kind!r}"
         )
-    path = f"/{kind}"
+    path = f"/v1/{kind}"
     requests = []
     for query in trace.query_nodes():
         payload: dict[str, object] = {"query": int(query)}

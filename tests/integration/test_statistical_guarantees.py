@@ -88,15 +88,17 @@ class TestGuaranteeRate:
 class TestEngineGuaranteeRegression:
     """Seeded regression: the Chernoff-derived walk budget keeps the
     empirical max error within eps_a at the configured delta — on the loop
-    *and* the batched trie-sharing engine.  Seeds are fixed, so any future
-    change to walk sampling, trie sharing or pruning that breaks the
-    (eps_a, delta) guarantee fails this test deterministically."""
+    engine, the batched trie-sharing engine, *and* the native kernel
+    engine (whose counter RNG draws an entirely different walk set, so it
+    needs its own statistical verification).  Seeds are fixed, so any
+    future change to walk sampling, trie sharing or pruning that breaks
+    the (eps_a, delta) guarantee fails this test deterministically."""
 
     EPS_A = 0.1
     DELTA = 0.2
     SEEDS = range(30)
 
-    @pytest.mark.parametrize("engine", ["loop", "batched"])
+    @pytest.mark.parametrize("engine", ["loop", "batched", "native"])
     def test_chernoff_budget_holds_on_toy(self, toy, toy_truth, engine):
         query = 0
         truth = toy_truth.single_source(query)
@@ -121,7 +123,7 @@ class TestEngineGuaranteeRegression:
             loop.single_source(0).num_walks == batched.single_source(0).num_walks
         )
 
-    @pytest.mark.parametrize("engine", ["loop", "batched"])
+    @pytest.mark.parametrize("engine", ["loop", "batched", "native"])
     def test_batched_queries_keep_the_guarantee(self, toy, toy_truth, engine):
         """single_source_many answers carry the same per-query guarantee."""
         queries = [0, 2, 5]

@@ -162,7 +162,9 @@ class TestErrorMapping:
             harness, harness.StubService(), "POST", "/topk", body=b"{nope"
         )
         assert response.status == 400
-        assert "JSON" in json.loads(response.body)["error"]
+        error = json.loads(response.body)["error"]
+        assert error["code"] == "bad_request"
+        assert "JSON" in error["message"]
 
     @pytest.mark.parametrize("payload", [
         {},                       # missing query
@@ -217,8 +219,131 @@ class TestErrorMapping:
 
         failed, alive = harness.serve(service, scenario, coalesce=False)
         assert failed.status == 500
-        assert "RuntimeError" in json.loads(failed.body)["error"]
+        error = json.loads(failed.body)["error"]
+        assert error["code"] == "internal"
+        assert "RuntimeError" in error["message"]
         assert alive.status == 200
+
+
+class TestAPIVersioning:
+    """/v1 is canonical; bare paths are byte-identical deprecated aliases."""
+
+    ALIAS_LINK = '</v1/topk>; rel="successor-version"'
+
+    def test_v1_and_alias_answer_identical_bytes(self, harness):
+        service = harness.StubService()
+        routes = [
+            ("/single_source", {"query": 7, "limit": 5}),
+            ("/topk", {"query": 2, "k": 3}),
+            ("/single_source_many", {"queries": [1, 2]}),
+            ("/topk_many", {"queries": [3], "k": 2}),
+            ("/apply_edges", {"added": [[1, 2]]}),
+        ]
+
+        async def scenario(app):
+            async with harness.Client(app.port) as client:
+                pairs = []
+                for path, payload in routes:
+                    versioned = await client.request(
+                        "POST", "/v1" + path, payload
+                    )
+                    alias = await client.request("POST", path, payload)
+                    pairs.append((path, versioned, alias))
+                return pairs
+
+        for path, versioned, alias in harness.serve(
+            service, scenario, coalesce=False
+        ):
+            assert versioned.status == alias.status == 200, path
+            assert versioned.body == alias.body, path
+
+    def test_alias_announces_its_successor(self, harness):
+        service = harness.StubService()
+
+        async def scenario(app):
+            async with harness.Client(app.port) as client:
+                alias = await client.request("POST", "/topk", {"query": 1})
+                versioned = await client.request(
+                    "POST", "/v1/topk", {"query": 1}
+                )
+                return alias, versioned
+
+        alias, versioned = harness.serve(service, scenario, coalesce=False)
+        assert alias.headers["deprecation"] == "true"
+        assert alias.headers["link"] == self.ALIAS_LINK
+        assert "deprecation" not in versioned.headers
+        assert "link" not in versioned.headers
+
+    def test_alias_errors_also_announce_the_successor(self, harness):
+        # the forwarding address rides on error responses too — a client
+        # seeing only failures still learns where the API moved
+        service = harness.StubService()
+
+        async def scenario(app):
+            async with harness.Client(app.port) as client:
+                return await client.request("GET", "/topk")
+
+        response = harness.serve(service, scenario)
+        assert response.status == 405
+        assert response.headers["allow"] == "POST"
+        assert response.headers["deprecation"] == "true"
+        assert response.headers["link"] == self.ALIAS_LINK
+
+    def test_ops_routes_are_unversioned(self, harness):
+        service = harness.StubService()
+
+        async def scenario(app):
+            async with harness.Client(app.port) as client:
+                bare = await client.request("GET", "/healthz")
+                versioned = await client.request("GET", "/v1/healthz")
+                return bare, versioned
+
+        bare, versioned = harness.serve(service, scenario)
+        assert bare.status == 200
+        assert "deprecation" not in bare.headers
+        assert versioned.status == 404
+
+
+class TestErrorEnvelope:
+    """Every 4xx/5xx answers ``{"error": {"code", "message", ...}}``."""
+
+    @staticmethod
+    def check_envelope(response, code):
+        payload = json.loads(response.body)
+        assert set(payload) == {"error"}
+        error = payload["error"]
+        assert error["code"] == code
+        assert isinstance(error["message"], str) and error["message"]
+        assert set(error) <= {"code", "message", "retry_after"}
+        return error
+
+    @pytest.mark.parametrize("method, path, kwargs, status, code", [
+        ("GET", "/nope", {}, 404, "not_found"),
+        ("GET", "/v1/topk", {}, 405, "method_not_allowed"),
+        ("POST", "/v1/topk", {"body": b"{nope"}, 400, "bad_request"),
+        ("POST", "/v1/topk", {"payload": {"query": "x"}}, 400, "bad_request"),
+    ])
+    def test_envelope_shape(self, harness, method, path, kwargs, status, code):
+        async def scenario(app):
+            async with harness.Client(app.port) as client:
+                return await client.request(method, path, **kwargs)
+
+        response = harness.serve(harness.StubService(), scenario)
+        assert response.status == status
+        self.check_envelope(response, code)
+
+    def test_oversized_body_envelope(self, harness):
+        async def scenario(app):
+            async with harness.Client(app.port) as client:
+                return await client.request(
+                    "POST", "/v1/topk", body=b"x" * 200
+                )
+
+        response = harness.serve(
+            harness.StubService(), scenario, max_body=64
+        )
+        assert response.status == 413
+        self.check_envelope(response, "payload_too_large")
 
 
 class TestAdmission:
@@ -251,9 +376,12 @@ class TestAdmission:
         shed = harness.serve(
             service, scenario, coalesce=False, admission_capacity=1
         )
-        assert "admission lane 'single_source' is full" in (
-            json.loads(shed.body)["error"]
-        )
+        error = json.loads(shed.body)["error"]
+        assert error["code"] == "overloaded"
+        assert "admission lane 'single_source' is full" in error["message"]
+        # the Retry-After header is mirrored into the body for JSON-only
+        # clients
+        assert error["retry_after"] == 1.0
 
     def test_lanes_shed_independently(self, harness):
         gate = threading.Event()
@@ -294,7 +422,9 @@ class TestDeadlines:
 
         response = harness.serve(service, scenario, coalesce=False)
         assert response.status == 504
-        assert "deadline of 0.05s expired" in json.loads(response.body)["error"]
+        error = json.loads(response.body)["error"]
+        assert error["code"] == "deadline_exceeded"
+        assert "deadline of 0.05s expired" in error["message"]
 
     def test_client_may_tighten_but_not_widen_the_deadline(self, harness):
         service = harness.StubService(delay=0.3)
@@ -310,7 +440,7 @@ class TestDeadlines:
         )
         assert response.status == 504
         # the server budget won, not the client's 60s
-        assert "0.05s" in json.loads(response.body)["error"]
+        assert "0.05s" in json.loads(response.body)["error"]["message"]
 
     def test_deadline_mid_coalesce_cancels_only_the_expired_request(
         self, harness

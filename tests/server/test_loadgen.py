@@ -25,7 +25,7 @@ class TestRequestsFromTrace:
         requests = requests_from_trace(trace, limit=5, method="probesim")
         assert len(requests) == len(trace.query_nodes())
         for (path, body), query in zip(requests, trace.query_nodes()):
-            assert path == "/single_source"
+            assert path == "/v1/single_source"
             assert json.loads(body) == {
                 "query": int(query), "limit": 5, "method": "probesim",
             }
@@ -36,7 +36,7 @@ class TestRequestsFromTrace:
         )
         requests = requests_from_trace(trace, kind="topk", k=7)
         path, body = requests[0]
-        assert path == "/topk"
+        assert path == "/v1/topk"
         assert json.loads(body)["k"] == 7
 
     def test_unknown_kind_is_rejected(self, tiny_wiki):

@@ -71,8 +71,11 @@ def comparable(current: dict, baseline: dict) -> str | None:
     same preset and the same hardware class; a mismatch (e.g. a smoke run
     against the full-preset baseline, or a baseline blessed on a laptop
     gating CI runners) must not produce confident pass/fail verdicts.
+    ``backend`` extends the same rule to reports that record an execution
+    backend (the native bench: numba vs the numpy fallback have different
+    performance envelopes, so one's baseline must not gate the other).
     """
-    for field in ("preset", "cores"):
+    for field in ("preset", "cores", "backend"):
         mine, theirs = current.get(field), baseline.get(field)
         if mine is not None and theirs is not None and mine != theirs:
             return (
