@@ -1,0 +1,117 @@
+"""Committed baseline suppressions for pre-existing / deliberate findings.
+
+The baseline is a JSON file (``.analysis-baseline.json`` at the repo
+root) whose entries match findings by ``(rule, path, key)`` — the key is
+line-independent, so suppressions survive unrelated edits.  Every entry
+must carry a non-empty ``justification``; ``repro analyze --strict``
+additionally fails when an entry no longer matches anything (stale
+suppressions hide regressions of the fix that made them stale).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.errors import AnalysisError
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    key: str
+    justification: str
+
+    def identity(self) -> tuple[str, str, str]:
+        """The ``(rule, path, key)`` triple this entry suppresses."""
+        return (self.rule, self.path, self.key)
+
+    def to_dict(self) -> dict[str, object]:
+        """The entry's on-disk JSON object form."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "key": self.key,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry]
+    path: Path | None = None
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=[])
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise AnalysisError(f"cannot read baseline file {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"baseline file {path} is not valid JSON: {exc}") from exc
+        if not isinstance(raw, dict) or "suppressions" not in raw:
+            raise AnalysisError(
+                f"baseline file {path} must be an object with a 'suppressions' list"
+            )
+        version = raw.get("version", FORMAT_VERSION)
+        if version != FORMAT_VERSION:
+            raise AnalysisError(
+                f"baseline file {path} has unsupported version {version!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        suppressions = raw["suppressions"]
+        if not isinstance(suppressions, list):
+            raise AnalysisError(f"baseline file {path}: 'suppressions' must be a list")
+        entries: list[BaselineEntry] = []
+        for position, item in enumerate(suppressions):
+            if not isinstance(item, dict):
+                raise AnalysisError(
+                    f"baseline file {path}: suppression #{position} is not an object"
+                )
+            try:
+                entry = BaselineEntry(
+                    rule=str(item["rule"]),
+                    path=str(item["path"]),
+                    key=str(item["key"]),
+                    justification=str(item["justification"]),
+                )
+            except KeyError as exc:
+                raise AnalysisError(
+                    f"baseline file {path}: suppression #{position} is missing {exc}"
+                ) from exc
+            if not entry.justification.strip():
+                raise AnalysisError(
+                    f"baseline file {path}: suppression #{position} "
+                    f"({entry.rule} / {entry.key}) has an empty justification; "
+                    "every exemption must say why"
+                )
+            entries.append(entry)
+        return cls(entries=entries, path=path)
+
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split findings into (unsuppressed, suppressed) and report stale
+        baseline entries that matched nothing."""
+        by_identity = {entry.identity(): entry for entry in self.entries}
+        matched: set[tuple[str, str, str]] = set()
+        unsuppressed: list[Finding] = []
+        suppressed: list[Finding] = []
+        for finding in findings:
+            identity = finding.identity()
+            if identity in by_identity:
+                matched.add(identity)
+                suppressed.append(finding)
+            else:
+                unsuppressed.append(finding)
+        stale = [entry for entry in self.entries if entry.identity() not in matched]
+        return unsuppressed, suppressed, stale

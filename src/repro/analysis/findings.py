@@ -1,0 +1,41 @@
+"""Finding model shared by every analysis rule and reporter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a concrete source location.
+
+    ``key`` is a line-independent identity (enclosing qualname plus the
+    offending symbol) so committed baseline suppressions survive
+    unrelated edits that shift line numbers.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    key: str
+    message: str
+
+    def identity(self) -> tuple[str, str, str]:
+        """The triple a baseline entry must match to suppress this finding."""
+        return (self.rule, self.path, self.key)
+
+    def to_dict(self) -> dict[str, object]:
+        """Flat JSON-ready row (the ``--json`` reporter payload shape)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "key": self.key,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One-line ``path:line:col: [rule] message`` report form."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message} (key: {self.key})"

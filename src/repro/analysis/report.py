@@ -1,0 +1,48 @@
+"""Text and JSON reporters with stable ordering."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.runner import AnalysisReport
+
+
+def render_text(report: AnalysisReport, *, strict: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary line."""
+    lines: list[str] = []
+    for finding in report.findings:
+        lines.append(finding.render())
+    if report.findings:
+        lines.append("")
+    if strict and report.stale_baseline:
+        for entry in report.stale_baseline:
+            lines.append(
+                f"stale baseline entry: [{entry.rule}] {entry.path} (key: {entry.key}) "
+                "matches nothing; remove it so the fixed invariant stays enforced"
+            )
+        lines.append("")
+    lines.append(
+        f"{len(report.findings)} finding(s), {len(report.suppressed)} suppressed "
+        f"by baseline, {len(report.stale_baseline)} stale baseline entr(y/ies), "
+        f"{report.files_scanned} file(s) scanned"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport, *, strict: bool = False) -> str:
+    """Machine-readable report (the ``repro analyze --json`` payload)."""
+    payload = {
+        "clean": report.is_clean(strict=strict),
+        "strict": strict,
+        "files_scanned": report.files_scanned,
+        "rules": report.rules,
+        "findings": [finding.to_dict() for finding in report.findings],
+        "suppressed": [finding.to_dict() for finding in report.suppressed],
+        "stale_baseline": [entry.to_dict() for entry in report.stale_baseline],
+        "summary": {
+            "findings": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "stale_baseline": len(report.stale_baseline),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

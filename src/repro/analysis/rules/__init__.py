@@ -1,0 +1,28 @@
+"""Rule registry: one module per invariant family."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules.contract import ApiContractRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.lifecycle import ResourceLifecycleRule
+from repro.analysis.rules.locking import LockDisciplineRule
+from repro.analysis.rules.threads import NoBareThreadRule
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    DeterminismRule,
+    LockDisciplineRule,
+    ResourceLifecycleRule,
+    ApiContractRule,
+    NoBareThreadRule,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "ApiContractRule",
+    "DeterminismRule",
+    "LockDisciplineRule",
+    "NoBareThreadRule",
+    "ResourceLifecycleRule",
+    "Rule",
+]

@@ -1,0 +1,37 @@
+"""Base class shared by all analysis rules."""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.analysis.findings import Finding
+from repro.analysis.visitor import ProjectIndex, SourceFile
+
+
+class Rule:
+    """One invariant family.
+
+    Subclasses set ``rule_id``/``description`` and implement
+    :meth:`check`.  Rules are stateless: the runner instantiates each once
+    and calls ``check`` per file after the project index is built.
+    """
+
+    rule_id: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+
+    def check(self, src: SourceFile, index: ProjectIndex) -> list[Finding]:
+        """Return every violation of this rule in one source file."""
+        raise NotImplementedError
+
+    def finding(
+        self, src: SourceFile, line: int, col: int, key: str, message: str
+    ) -> Finding:
+        """Construct a :class:`Finding` stamped with this rule's id."""
+        return Finding(
+            path=src.rel,
+            line=line,
+            col=col,
+            rule=self.rule_id,
+            key=key,
+            message=message,
+        )

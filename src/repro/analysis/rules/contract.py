@@ -1,0 +1,158 @@
+"""API-contract rule: capability declarations and HTTP error envelopes.
+
+Two checks:
+
+- ``capabilities``: every ``Capabilities(...)`` construction must pass
+  **all** fields explicitly (field list read from the dataclass itself
+  during the index pass).  Defaulted omissions are how stale capability
+  rows ship — a method gaining ``parallel_safe`` support while its row
+  silently claims the default.
+- ``error-envelope`` (``server/`` files): a ``render_response`` call
+  with a literal 4xx/5xx status must carry the
+  ``{"error": {"code", ...}}`` envelope — either a dict literal with an
+  ``"error"`` key in its arguments or an enclosing helper that builds
+  one.  Status literals passed to ``_error_response`` must be registered
+  in the module's ``_ERROR_CODES`` slug table.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+from repro.analysis.visitor import ProjectIndex, SourceFile, last_part
+
+
+def _literal_status(node: ast.expr) -> int | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    return None
+
+
+def _has_error_dict(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Dict):
+            for item_key in child.keys:
+                if isinstance(item_key, ast.Constant) and item_key.value == "error":
+                    return True
+    return False
+
+
+class ApiContractRule(Rule):
+    """Capability rows and server error responses follow their contracts."""
+
+    rule_id = "api-contract"
+    description = (
+        "Capabilities(...) passes every field explicitly; 4xx/5xx render_response "
+        "sites use the {'error': {'code', ...}} envelope with registered slugs"
+    )
+
+    def check(self, src: SourceFile, index: ProjectIndex) -> list[Finding]:
+        """Check Capabilities construction sites and server error envelopes."""
+        findings: list[Finding] = []
+        findings.extend(self._check_capabilities(src, index))
+        if "server" in PurePosixPath(src.rel).parts:
+            findings.extend(self._check_envelopes(src))
+        return findings
+
+    def _check_capabilities(self, src: SourceFile, index: ProjectIndex) -> list[Finding]:
+        findings: list[Finding] = []
+        fields = index.capabilities_fields
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call) or last_part(node.func) != "Capabilities":
+                continue
+            if src.enclosing_class(node) is not None and src.qualname(node).startswith(
+                "Capabilities"
+            ):
+                continue
+            if any(keyword.arg is None for keyword in node.keywords):
+                continue  # **splat: cannot verify statically
+            provided = set(fields[: len(node.args)])
+            provided.update(
+                keyword.arg for keyword in node.keywords if keyword.arg is not None
+            )
+            missing = [name for name in fields if name not in provided]
+            if missing:
+                findings.append(
+                    self.finding(
+                        src,
+                        node.lineno,
+                        node.col_offset,
+                        f"{src.qualname(node)}:capabilities",
+                        "Capabilities(...) omits "
+                        + ", ".join(missing)
+                        + "; declare every field explicitly so capability rows "
+                        "cannot silently inherit defaults",
+                    )
+                )
+        return findings
+
+    def _check_envelopes(self, src: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        error_codes = self._registered_error_codes(src)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = last_part(node.func)
+            if callee == "render_response" and node.args:
+                status = _literal_status(node.args[0])
+                if status is None or status < 400:
+                    continue
+                enclosing = src.enclosing_function(node)
+                if any(_has_error_dict(arg) for arg in node.args[1:]):
+                    continue
+                if enclosing is not None and _has_error_dict(enclosing):
+                    continue
+                findings.append(
+                    self.finding(
+                        src,
+                        node.lineno,
+                        node.col_offset,
+                        f"{src.qualname(node)}:envelope:{status}",
+                        f"{status} response bypasses the error envelope; build it "
+                        'with the {"error": {"code", ...}} shape (_error_response)',
+                    )
+                )
+            elif callee == "_error_response" and node.args and error_codes is not None:
+                status = _literal_status(node.args[0])
+                if status is None or status in error_codes:
+                    continue
+                findings.append(
+                    self.finding(
+                        src,
+                        node.lineno,
+                        node.col_offset,
+                        f"{src.qualname(node)}:error-code:{status}",
+                        f"status {status} has no slug in _ERROR_CODES; register one "
+                        "so clients get a stable machine-readable code",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _registered_error_codes(src: SourceFile) -> set[int] | None:
+        """Literal int keys of the module's ``_ERROR_CODES`` table, if any."""
+        for node in src.tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            named = any(
+                isinstance(target, ast.Name) and target.id == "_ERROR_CODES"
+                for target in targets
+            )
+            if named and isinstance(value, ast.Dict):
+                codes: set[int] = set()
+                for dict_key in value.keys:
+                    status = _literal_status(dict_key) if dict_key is not None else None
+                    if status is not None:
+                        codes.add(status)
+                return codes
+        return None

@@ -1,0 +1,166 @@
+"""Two-pass analysis orchestration.
+
+Pass 1 parses every target file and builds the :class:`ProjectIndex`
+(guard annotations keyed by class name so subclasses in other files
+inherit them, plus the authoritative ``Capabilities`` field list).
+Pass 2 applies every rule to every file.  Findings are deterministic:
+sorted by path/line/col, with duplicate baseline keys disambiguated by
+an occurrence suffix so suppressions stay unambiguous.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.visitor import ProjectIndex, SourceFile
+from repro.errors import AnalysisError
+
+
+def default_target() -> Path:
+    """The installed package source tree — ``src/repro`` in a checkout."""
+    package_file = repro.__file__
+    if package_file is None:  # pragma: no cover - namespace-package edge
+        raise AnalysisError("cannot locate the repro package source tree")
+    return Path(package_file).resolve().parent
+
+
+def default_baseline_path(root: Path) -> Path:
+    """Where ``repro analyze`` auto-discovers the committed baseline."""
+    return root / ".analysis-baseline.json"
+
+
+def iter_rules() -> list[Rule]:
+    """One fresh instance of every registered rule."""
+    return [rule_class() for rule_class in ALL_RULES]
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    """Expand directories to sorted ``*.py`` trees, skipping caches."""
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for path in paths:
+        if not path.exists():
+            raise AnalysisError(f"analysis target does not exist: {path}")
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            raise AnalysisError(f"analysis target is not a python file: {path}")
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return files
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run, pre-partitioned against the baseline."""
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    stale_baseline: list[BaselineEntry]
+    files_scanned: int
+    rules: list[str] = field(default_factory=list)
+
+    def is_clean(self, *, strict: bool = False) -> bool:
+        """No findings — and, under ``strict``, no stale baseline entries."""
+        if self.findings:
+            return False
+        if strict and self.stale_baseline:
+            return False
+        return True
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze(
+    paths: list[Path],
+    *,
+    root: Path | None = None,
+    baseline: Baseline | None = None,
+    rules: list[Rule] | None = None,
+) -> AnalysisReport:
+    """Run every rule over ``paths`` (files or directories).
+
+    ``root`` anchors the repo-relative paths used in findings and baseline
+    matching; it defaults to the current working directory, so running from
+    the repo root yields ``src/repro/...`` paths that match the committed
+    baseline.
+    """
+    anchor = (root or Path.cwd()).resolve()
+    active_rules = iter_rules() if rules is None else rules
+    files = collect_files(paths)
+    sources: list[SourceFile] = []
+    findings: list[Finding] = []
+    for file_path in files:
+        rel = _relative(file_path, anchor)
+        try:
+            sources.append(SourceFile.load(file_path, rel))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            findings.append(
+                Finding(
+                    path=rel,
+                    line=getattr(exc, "lineno", None) or 1,
+                    col=0,
+                    rule="parse-error",
+                    key="<module>:parse",
+                    message=f"file could not be analyzed: {exc}",
+                )
+            )
+    index = ProjectIndex.build(sources)
+    for src in sources:
+        for rule in active_rules:
+            findings.extend(rule.check(src, index))
+    findings = _disambiguate(sorted(findings))
+    active_baseline = baseline if baseline is not None else Baseline.empty()
+    unsuppressed, suppressed, stale = active_baseline.partition(findings)
+    return AnalysisReport(
+        findings=unsuppressed,
+        suppressed=suppressed,
+        stale_baseline=stale,
+        files_scanned=len(files),
+        rules=[rule.rule_id for rule in active_rules],
+    )
+
+
+def _disambiguate(findings: list[Finding]) -> list[Finding]:
+    """Append ``#N`` to repeated (rule, path, key) triples, in source order,
+    so every finding has a unique, stable baseline identity."""
+    counts = Counter(finding.identity() for finding in findings)
+    seen: Counter[tuple[str, str, str]] = Counter()
+    result: list[Finding] = []
+    for finding in findings:
+        identity = finding.identity()
+        if counts[identity] == 1:
+            result.append(finding)
+            continue
+        seen[identity] += 1
+        occurrence = seen[identity]
+        key = finding.key if occurrence == 1 else f"{finding.key}#{occurrence}"
+        result.append(
+            Finding(
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                rule=finding.rule,
+                key=key,
+                message=finding.message,
+            )
+        )
+    return result

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.errors import QueryError
 
@@ -178,8 +178,12 @@ class SimRankEstimator(abc.ABC):
         self.sync()
 
     @classmethod
-    def __subclasshook__(cls, subclass: type) -> bool:
-        """Structural check: any class providing the five verbs conforms."""
+    def __subclasshook__(cls, subclass: type) -> Any:
+        """Structural check: any class providing the five verbs conforms.
+
+        Returns ``bool | NotImplemented`` — NotImplemented defers to the
+        regular ABC machinery rather than rejecting outright.
+        """
         if cls is not SimRankEstimator:
             return NotImplemented
         if all(callable(getattr(subclass, verb, None)) for verb in PROTOCOL_VERBS):

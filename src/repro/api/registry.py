@@ -189,7 +189,8 @@ def _register_builtins() -> None:
         """ProbeSim's capability profile (index-free, O(m) sync)."""
         return Capabilities(
             method=f"probesim-{strategy}", exact=False, index_based=False,
-            supports_dynamic=True, vectorized=vectorized, parallel_safe=True,
+            supports_dynamic=True, incremental_updates=False,
+            vectorized=vectorized, parallel_safe=True, native=False,
         )
 
     register(
@@ -225,7 +226,8 @@ def _register_builtins() -> None:
         probe_config=_PROBESIM_PROBE,
         capabilities=Capabilities(
             method="probesim-batched", exact=False, index_based=False,
-            supports_dynamic=True, vectorized=True, parallel_safe=True,
+            supports_dynamic=True, incremental_updates=False, vectorized=True,
+            parallel_safe=True, native=False,
         ),
     )
 
@@ -243,8 +245,8 @@ def _register_builtins() -> None:
         probe_config=_PROBESIM_PROBE,
         capabilities=Capabilities(
             method="probesim-native", exact=False, index_based=False,
-            supports_dynamic=True, vectorized=True, parallel_safe=True,
-            native=True,
+            supports_dynamic=True, incremental_updates=False, vectorized=True,
+            parallel_safe=True, native=True,
         ),
     )
 
@@ -260,7 +262,8 @@ def _register_builtins() -> None:
         probe_config=_PROBESIM_PROBE,
         capabilities=Capabilities(
             method="probesim-walkindex", exact=False, index_based=True,
-            supports_dynamic=True, incremental_updates=True, parallel_safe=True,
+            supports_dynamic=True, incremental_updates=True, vectorized=False,
+            parallel_safe=True, native=False,
         ),
     )
 
@@ -276,7 +279,8 @@ def _register_builtins() -> None:
         probe_config={**_PROBESIM_PROBE, "initial_batch": 16},
         capabilities=Capabilities(
             method="probesim-adaptive", exact=False, index_based=False,
-            supports_dynamic=True, parallel_safe=True,
+            supports_dynamic=True, incremental_updates=False, vectorized=False,
+            parallel_safe=True, native=False,
         ),
     )
 
@@ -294,7 +298,8 @@ def _register_builtins() -> None:
         probe_config={"num_walks": 60},
         capabilities=Capabilities(
             method="mc", exact=False, index_based=False, supports_dynamic=True,
-            parallel_safe=True,
+            incremental_updates=False, vectorized=False, parallel_safe=True,
+            native=False,
         ),
     )
 
@@ -310,7 +315,8 @@ def _register_builtins() -> None:
         config_keys=("c", "iterations", "seed"),
         capabilities=Capabilities(
             method="power-method", exact=True, index_based=False,
-            supports_dynamic=False,
+            supports_dynamic=False, incremental_updates=False, vectorized=False,
+            parallel_safe=False, native=False,
         ),
     )
 
@@ -330,7 +336,8 @@ def _register_builtins() -> None:
         """The TopSim family's capability profile (index-free, truncated)."""
         return Capabilities(
             method=method, exact=False, index_based=False, supports_dynamic=True,
-            parallel_safe=True,
+            incremental_updates=False, vectorized=False, parallel_safe=True,
+            native=False,
         )
 
     topsim_keys = ("c", "depth", "degree_threshold", "eta", "priority_width", "seed")
@@ -368,7 +375,8 @@ def _register_builtins() -> None:
         probe_config={"rg": 20, "rq": 4, "depth": 6},
         capabilities=Capabilities(
             method="tsf", exact=False, index_based=True,
-            supports_dynamic=True, incremental_updates=True, parallel_safe=True,
+            supports_dynamic=True, incremental_updates=True, vectorized=False,
+            parallel_safe=True, native=False,
         ),
     )
 
@@ -388,7 +396,8 @@ def _register_builtins() -> None:
         probe_config={"theta": 1e-3},
         capabilities=Capabilities(
             method="sling", exact=False, index_based=True,
-            supports_dynamic=False,
+            supports_dynamic=False, incremental_updates=False, vectorized=False,
+            parallel_safe=False, native=False,
         ),
     )
 

@@ -119,7 +119,7 @@ class QueryServiceBase:
     def __init__(self, graph, default_method: str | None = None) -> None:
         self._graph = graph
         self._default = default_method
-        self.stats = ServiceStats()
+        self.stats = ServiceStats()  # guarded-by: _stats_lock
         self._stats_lock = threading.Lock()
 
     @property
@@ -268,7 +268,7 @@ class SimRankService(QueryServiceBase):
         super().__init__(graph, default_method=None)
         self._estimators: dict[str, SimRankEstimator] = {}
         self.auto_sync = auto_sync
-        self._stale: set[str] = set()
+        self._stale: set[str] = set()  # guarded-by: _stats_lock
         configs = self._validate_configs(configs, methods)
         for name in methods:
             self.add_method(name, **configs.get(name, {}))

@@ -110,7 +110,10 @@ class MonteCarlo(SimRankEstimator):
             exact=False,
             index_based=False,
             supports_dynamic=True,
+            incremental_updates=False,
+            vectorized=False,
             parallel_safe=True,
+            native=False,
         )
 
     # ------------------------------------------------------------------ #

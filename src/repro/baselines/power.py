@@ -75,6 +75,10 @@ class PowerMethod(SimRankEstimator):
             exact=True,
             index_based=False,
             supports_dynamic=False,
+            incremental_updates=False,
+            vectorized=False,
+            parallel_safe=False,
+            native=False,
         )
 
     @property

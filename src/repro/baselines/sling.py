@@ -202,6 +202,10 @@ class SLINGIndex(SimRankEstimator):
             exact=False,
             index_based=True,
             supports_dynamic=False,
+            incremental_updates=False,
+            vectorized=False,
+            parallel_safe=False,
+            native=False,
         )
 
     # ------------------------------------------------------------------ #

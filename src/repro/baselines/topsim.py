@@ -105,7 +105,10 @@ class TopSim(SimRankEstimator):
             exact=False,
             index_based=False,
             supports_dynamic=True,
+            incremental_updates=False,
+            vectorized=False,
             parallel_safe=True,
+            native=False,
         )
 
     @property

@@ -120,7 +120,9 @@ class TSFIndex(SimRankEstimator):
             index_based=True,
             supports_dynamic=True,
             incremental_updates=True,
+            vectorized=False,
             parallel_safe=True,
+            native=False,
         )
 
     def _reverse_adjacency(self, index: int) -> tuple[np.ndarray, np.ndarray]:

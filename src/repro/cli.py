@@ -31,6 +31,11 @@ Subcommands
     Print Table 3-style statistics for an edge-list graph.
 ``dataset``
     Generate a named stand-in dataset and write it as an edge list.
+``analyze``
+    Run the static invariant analyzers (:mod:`repro.analysis`) over the
+    source tree: determinism, lock discipline, resource lifecycle, API
+    contract, and no-bare-thread rules, with a committed baseline for
+    deliberate exemptions (exit 0 clean, 1 findings, 2 bad usage).
 
 Every query method is resolved through :mod:`repro.api.registry` — the CLI
 holds no per-method construction code, so newly registered methods appear in
@@ -540,6 +545,30 @@ def _cmd_dataset(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.baseline import Baseline
+    from repro.analysis.report import render_json, render_text
+    from repro.analysis.runner import analyze, default_baseline_path, default_target
+
+    root = Path.cwd()
+    paths = [Path(p) for p in args.paths] if args.paths else [default_target()]
+    if args.no_baseline:
+        baseline = None
+    elif args.baseline is not None:
+        baseline = Baseline.load(Path(args.baseline))
+    else:
+        discovered = default_baseline_path(root)
+        baseline = Baseline.load(discovered) if discovered.exists() else None
+    report = analyze(paths, root=root, baseline=baseline)
+    if args.json:
+        print(render_json(report, strict=args.strict))
+    else:
+        print(render_text(report, strict=args.strict))
+    return 0 if report.is_clean(strict=args.strict) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -775,6 +804,31 @@ def build_parser() -> argparse.ArgumentParser:
     dataset.add_argument("--scale", default="tiny", choices=("tiny", "small", "paper"))
     dataset.add_argument("--out", required=True, help="output edge-list path")
     dataset.set_defaults(func=_cmd_dataset)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the invariant analyzers (determinism, lock discipline, "
+             "resource lifecycle, API contract, no-bare-thread)",
+        description="Static invariant analysis over the source tree. "
+                    "Exit codes: 0 clean (modulo baseline), 1 findings "
+                    "(or stale baseline entries under --strict), 2 bad "
+                    "usage/configuration.",
+    )
+    analyze.add_argument(
+        "paths", nargs="*",
+        help="files or directories to scan (default: the installed repro package)",
+    )
+    analyze.add_argument("--json", action="store_true",
+                         help="machine-readable report on stdout")
+    analyze.add_argument("--baseline", default=None,
+                         help="baseline suppression file "
+                              "(default: ./.analysis-baseline.json when present)")
+    analyze.add_argument("--no-baseline", action="store_true", dest="no_baseline",
+                         help="ignore any baseline file: report every finding")
+    analyze.add_argument("--strict", action="store_true",
+                         help="also fail on stale baseline entries that no "
+                              "longer match any finding")
+    analyze.set_defaults(func=_cmd_analyze)
 
     return parser
 

@@ -134,6 +134,7 @@ class ProbeSim(SimRankEstimator):
             exact=False,
             index_based=False,
             supports_dynamic=True,
+            incremental_updates=False,
             vectorized=resolved in ("batched", "native"),
             parallel_safe=True,
             native=resolved == "native",

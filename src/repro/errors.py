@@ -33,7 +33,7 @@ class EdgeNotFoundError(GraphError, KeyError):
         self.target = target
 
     def __str__(self) -> str:  # KeyError.__str__ repr()s its args; undo that.
-        return self.args[0]
+        return str(self.args[0])
 
 
 class DuplicateEdgeError(GraphError):
@@ -63,6 +63,12 @@ class DatasetError(ReproError):
 
 class EvaluationError(ReproError):
     """An evaluation protocol (pooling, ground truth) was misused."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis suite was misconfigured (bad path, malformed
+    baseline file, unknown rule) — distinct from *findings*, which are
+    reported, not raised."""
 
 
 class ServerError(ReproError):

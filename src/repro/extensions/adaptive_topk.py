@@ -94,7 +94,10 @@ class AdaptiveTopK(SimRankEstimator):
             exact=False,
             index_based=False,
             supports_dynamic=True,
+            incremental_updates=False,
+            vectorized=False,
             parallel_safe=True,
+            native=False,
         )
 
     def topk(self, query: int, k: int) -> TopKResult:

@@ -152,7 +152,9 @@ class WalkIndex(SimRankEstimator):
             index_based=True,
             supports_dynamic=True,
             incremental_updates=True,
+            vectorized=False,
             parallel_safe=True,
+            native=False,
         )
 
     def apply_updates(self, updates) -> None:

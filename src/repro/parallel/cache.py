@@ -112,7 +112,8 @@ class ResultCache:
         if capacity < 0:
             raise ValueError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = int(capacity)
-        self.stats = CacheStats()
+        self.stats = CacheStats()  # guarded-by: _lock
+        # guarded-by: _lock
         self._entries: OrderedDict[tuple[str, int, int], object] = OrderedDict()
         self._lock = threading.Lock()
 

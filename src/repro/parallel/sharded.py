@@ -344,9 +344,9 @@ class ShardedSimRankService(QueryServiceBase):
                 f"the graph has {self._num_nodes}"
             )
         self._closed = False
-        self._stale = False
-        self._updates_applied = 0
-        self._syncs = 0
+        self._stale = False  # guarded-by: _stats_lock
+        self._updates_applied = 0  # guarded-by: _stats_lock
+        self._syncs = 0  # guarded-by: _stats_lock
         self._services: list[ParallelSimRankService] = []
         self._fanout: ThreadPoolExecutor | None = None
         try:
@@ -560,10 +560,14 @@ class ShardedSimRankService(QueryServiceBase):
                 apply_update(self._digraph, update)
                 for shard in owners:
                     self._services[shard].apply_update_stream([update])
-                self._stale = True
                 count += 1
         finally:
-            self._updates_applied += count
+            # narrow scope: the lock is released before sync() fans out to
+            # the shard services (which take their own _stats_lock)
+            with self._stats_lock:
+                self._updates_applied += count
+                if count:
+                    self._stale = True
             if count and self.auto_sync:
                 self.sync()
         return count
@@ -577,9 +581,10 @@ class ShardedSimRankService(QueryServiceBase):
         """
         for service in self._services:
             service.sync()
-        if self._stale:
-            self._syncs += 1
-            self._stale = False
+        with self._stats_lock:
+            if self._stale:
+                self._syncs += 1
+                self._stale = False
 
     # ------------------------------------------------------------------ #
     # lifecycle

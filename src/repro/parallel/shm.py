@@ -284,11 +284,20 @@ class SharedCSRGraph:
         segment = shared_memory.SharedMemory(
             name=descriptor.data_name, create=True, size=size
         )
-        payload = csr.shm_payload()
-        for field, dtype, offset, count in layout:
-            view = np.ndarray((count,), dtype=dtype, buffer=segment.buf, offset=offset)
-            view[:] = payload[field]
-            del view  # release the buffer export before anyone closes
+        try:
+            payload = csr.shm_payload()
+            for field, dtype, offset, count in layout:
+                view = np.ndarray(
+                    (count,), dtype=dtype, buffer=segment.buf, offset=offset
+                )
+                view[:] = payload[field]
+                del view  # release the buffer export before anyone closes
+        except BaseException:
+            # a failed payload write must not strand a *named* segment on
+            # /dev/shm: nothing references it yet, so close and unlink here
+            segment.close()
+            segment.unlink()
+            raise
         self._segments[epoch] = segment
         self._descriptor = descriptor
         self._graph = None  # rebuilt lazily against the new generation

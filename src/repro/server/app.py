@@ -189,8 +189,8 @@ class SimRankHTTPApp:
         )
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
-        self._requests_total = 0
-        self._responses_by_status: dict[int, int] = {}
+        self._requests_total = 0  # guarded-by: event-loop
+        self._responses_by_status: dict[int, int] = {}  # guarded-by: event-loop
 
     # ------------------------------------------------------------------ #
     # lifecycle

@@ -126,14 +126,14 @@ class Coalescer:
         self._dispatch = dispatch
         self.window = window
         self.max_batch = max_batch
-        self._buckets: dict[Hashable, _Bucket] = {}
-        self.stats = CoalesceStats()
+        self._buckets: dict[Hashable, _Bucket] = {}  # guarded-by: event-loop
+        self.stats = CoalesceStats()  # guarded-by: event-loop
         #: every dispatched (key, queries) pair, for tests and debugging.
-        self.dispatch_log: list[tuple[Hashable, tuple[int, ...]]] = []
-        self._flushes: set[asyncio.Task] = set()
+        self.dispatch_log: list[tuple[Hashable, tuple[int, ...]]] = []  # guarded-by: event-loop
+        self._flushes: set[asyncio.Task] = set()  # guarded-by: event-loop
         # at most one dispatch in flight per key: batches serialize in
         # submission order and grow under load instead of racing the engine
-        self._in_flight: dict[Hashable, asyncio.Task] = {}
+        self._in_flight: dict[Hashable, asyncio.Task] = {}  # guarded-by: event-loop
 
     async def submit(self, key: Hashable, query: int):
         """Join the bucket for ``key`` and await this query's result."""

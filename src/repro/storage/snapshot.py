@@ -263,15 +263,20 @@ def attach_snapshot(path: str | Path, verify: bool = False) -> MappedSnapshot:
     warm restart touches only the header.
     """
     mapped = MappedSnapshot.open(path)
-    if verify:
-        actual = mapped.graph().digest()
-        if actual != mapped.header.digest:
-            try:
-                mapped.close()
-            except BufferError:  # pragma: no cover - views still referenced
-                pass
-            raise SnapshotError(
-                f"{path}: payload digest {actual} does not match header "
-                f"digest {mapped.header.digest}"
-            )
+    try:
+        if verify:
+            actual = mapped.graph().digest()
+            if actual != mapped.header.digest:
+                raise SnapshotError(
+                    f"{path}: payload digest {actual} does not match header "
+                    f"digest {mapped.header.digest}"
+                )
+    except BaseException:
+        # verification failed or raised: the caller never sees the handle,
+        # so the mapping must not outlive this frame
+        try:
+            mapped.close()
+        except BufferError:  # pragma: no cover - views still referenced
+            pass
+        raise
     return mapped

@@ -1,0 +1,35 @@
+"""Known-bad determinism snippets (fixture corpus — never imported).
+
+Each function demonstrates one determinism finding; tests assert the
+exact locations, so keep line numbers stable when editing.
+"""
+
+import random
+import secrets
+import time
+
+import numpy as np
+
+
+def draw_global() -> float:
+    return random.random()  # finding: process-global RNG
+
+
+def draw_unseeded():
+    return np.random.default_rng()  # finding: OS entropy
+
+
+def draw_default_none(seed=None):
+    return np.random.default_rng(seed)  # finding: seed defaults to None
+
+
+def draw_legacy() -> float:
+    return np.random.rand()  # finding: legacy global numpy RNG
+
+
+def machine_token() -> str:
+    return secrets.token_hex(4)  # finding: machine entropy
+
+
+def stamp() -> float:
+    return time.time()  # finding: wall clock

@@ -1,0 +1,21 @@
+"""Determinism negatives: seed-derived draws and monotonic clocks."""
+
+import time
+
+import numpy as np
+
+
+def draw_seeded(seed: int):
+    return np.random.default_rng(seed)  # ok: seed is a required parameter
+
+
+def draw_literal():
+    return np.random.default_rng(7)  # ok: concrete seed
+
+
+def elapsed() -> float:
+    return time.monotonic()  # ok: monotonic, not wall clock
+
+
+def measure() -> float:
+    return time.perf_counter()  # ok

@@ -1,0 +1,24 @@
+"""Known-bad resource-lifecycle snippets (fixture corpus — never imported)."""
+
+import mmap
+import os
+from multiprocessing import shared_memory
+
+
+def leak_mapping(path: str) -> bytes:
+    fd = os.open(path, os.O_RDONLY)
+    mapping = mmap.mmap(fd, 0)  # finding: read() below can raise, mapping leaks
+    header = mapping.read(16)
+    mapping.close()
+    os.close(fd)
+    return header
+
+
+def leak_segment(name: str) -> int:
+    segment = shared_memory.SharedMemory(name=name)  # finding: no guard at all
+    size = segment.size
+    return size
+
+
+def drop_segment(name: str) -> None:
+    shared_memory.SharedMemory(name=name)  # finding: constructed and dropped

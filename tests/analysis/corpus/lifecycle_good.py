@@ -1,0 +1,51 @@
+"""Resource-lifecycle negatives: every accepted ownership pattern."""
+
+import mmap
+import os
+import weakref
+from multiprocessing import shared_memory
+
+
+class Holder:
+    def __init__(self, segment: shared_memory.SharedMemory) -> None:
+        self.segment = segment
+
+
+def with_block(path: str) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read(16)
+
+
+def wrap_then_guard(name: str) -> shared_memory.SharedMemory:
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        if segment.size == 0:
+            raise ValueError(name)
+    except BaseException:
+        segment.close()
+        raise
+    return segment
+
+
+def try_finally(path: str) -> int:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        return os.stat(fd).st_size
+    finally:
+        os.close(fd)
+
+
+def transfer_by_return(fd: int) -> "mmap.mmap":
+    mapping = mmap.mmap(fd, 0)
+    return mapping
+
+
+def transfer_to_holder(name: str) -> Holder:
+    segment = shared_memory.SharedMemory(name=name)
+    return Holder(segment)
+
+
+def registered_finalizer(name: str) -> shared_memory.SharedMemory:
+    segment = shared_memory.SharedMemory(name=name)
+    weakref.finalize(segment, shared_memory.SharedMemory.close, segment)
+    return segment

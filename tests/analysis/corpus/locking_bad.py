@@ -1,0 +1,29 @@
+"""Known-bad lock-discipline snippets (fixture corpus — never imported)."""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.hits = 0  # guarded-by: lock
+        self.entries: list[int] = []  # guarded-by: lock
+
+    def record_unlocked(self) -> None:
+        self.hits += 1  # finding: mutation outside the lock
+
+    def record_locked(self) -> None:
+        with self.lock:
+            self.hits += 1  # ok
+
+    def append_unlocked(self, value: int) -> None:
+        self.entries.append(value)  # finding: mutator call outside the lock
+
+    # holds-lock: lock
+    def _bump_assuming_held(self) -> None:
+        self.hits += 1  # ok: annotated caller-holds-lock
+
+
+class SubCounter(Counter):
+    def reset(self) -> None:
+        self.hits = 0  # finding: inherited guard annotation applies here

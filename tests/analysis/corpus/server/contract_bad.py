@@ -1,0 +1,32 @@
+"""Known-bad server API-contract snippets (fixture corpus — never imported).
+
+Lives under a ``server/`` directory because the envelope checks are
+scoped to server code, mirroring ``src/repro/server/``.
+"""
+
+_ERROR_CODES = {400: "bad_request", 404: "not_found"}
+
+
+def render_response(status: int, body: bytes) -> tuple[int, bytes]:
+    return status, body
+
+
+def _error_response(status: int, detail: str) -> tuple[int, bytes]:
+    error = {"error": {"code": _ERROR_CODES.get(status, "internal"), "detail": detail}}
+    return render_response(status, repr(error).encode())
+
+
+def handle_naked_error() -> tuple[int, bytes]:
+    return render_response(500, b"boom")  # finding: no error envelope
+
+
+def handle_unregistered_status() -> tuple[int, bytes]:
+    return _error_response(418, "teapot")  # finding: 418 missing from _ERROR_CODES
+
+
+def handle_ok() -> tuple[int, bytes]:
+    return render_response(200, b"{}")  # ok: 2xx needs no envelope
+
+
+def handle_registered() -> tuple[int, bytes]:
+    return _error_response(404, "nope")  # ok: slug registered

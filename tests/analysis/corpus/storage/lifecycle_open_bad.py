@@ -1,0 +1,25 @@
+"""Known-bad plain-open snippets, scoped to a ``storage/`` directory
+(mirrors ``src/repro/storage/`` where WAL/snapshot opens are tracked)."""
+
+
+def read_header_leaky(path: str) -> bytes:
+    handle = open(path, "rb")  # finding: read can raise, handle leaks
+    header = handle.read(16)
+    handle.close()
+    return header
+
+
+def read_header_safe(path: str) -> bytes:
+    with open(path, "rb") as handle:  # ok: context manager
+        return handle.read(16)
+
+
+def wrap_then_guard(path: str) -> object:
+    handle = open(path, "rb")  # ok: immediately guarded, WAL-style
+    try:
+        if handle.read(1) != b"\x01":
+            raise ValueError(path)
+    except BaseException:
+        handle.close()
+        raise
+    return handle

@@ -1,0 +1,33 @@
+"""Known-bad thread-spawn snippets (fixture corpus — never imported)."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+def spawn_thread() -> threading.Thread:
+    worker = threading.Thread(target=print)  # finding: raw thread
+    worker.start()
+    return worker
+
+
+def spawn_pool() -> ThreadPoolExecutor:
+    return ThreadPoolExecutor(max_workers=2)  # finding: raw executor
+
+
+def spawn_timer() -> threading.Timer:
+    return threading.Timer(1.0, print)  # finding: threading.Timer spawns
+
+
+class Timer:
+    """Same name as the perf-timing helper: must NOT be flagged."""
+
+    def __enter__(self) -> "Timer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+def time_something() -> Timer:
+    timer = Timer()  # ok: the repo's perf Timer, not threading.Timer
+    return timer

@@ -1,0 +1,159 @@
+"""Exit-code and output-format tests for ``repro analyze``."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+CORPUS = Path(__file__).parent / "corpus"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text("import time\n\nSTART = time.monotonic()\n")
+    return str(path)
+
+
+@pytest.fixture()
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text("import random\n\nX = random.random()\n")
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_target_exits_zero(self, clean_file, capsys):
+        assert main(["analyze", clean_file, "--no-baseline"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, dirty_file, capsys):
+        assert main(["analyze", dirty_file, "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "[determinism]" in out
+        assert "1 finding(s)" in out
+
+    def test_corpus_exits_one(self, capsys):
+        assert main(["analyze", str(CORPUS), "--no-baseline"]) == 1
+        assert "finding(s)" in capsys.readouterr().out
+
+    def test_missing_target_is_config_error(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "nope.py"), "--no-baseline"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_baseline_file_is_config_error(self, dirty_file, tmp_path, capsys):
+        code = main(["analyze", dirty_file,
+                     "--baseline", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBaselineFlags:
+    def test_explicit_baseline_suppresses(self, dirty_file, tmp_path, capsys,
+                                          monkeypatch):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "suppressions": [
+                {"rule": "determinism", "path": "dirty.py",
+                 "key": "<module>:rng:random.random",
+                 "justification": "fixture"},
+            ],
+        }))
+        monkeypatch.chdir(tmp_path)  # finding paths anchor at the cwd
+        code = main(["analyze", "dirty.py", "--baseline", str(baseline)])
+        assert code == 0
+        assert "1 suppressed" in capsys.readouterr().out
+
+    def test_stale_entry_fails_under_strict(self, clean_file, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "suppressions": [
+                {"rule": "determinism", "path": "gone.py",
+                 "key": "gone:rng:random.random", "justification": "obsolete"},
+            ],
+        }))
+        assert main(["analyze", clean_file, "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        code = main(["analyze", clean_file, "--baseline", str(baseline), "--strict"])
+        assert code == 1
+        assert "stale" in capsys.readouterr().out
+
+    def test_suppressions_are_path_relative_to_cwd(self, tmp_path, capsys,
+                                                   monkeypatch):
+        # The committed baseline stores src/repro/... paths; matching is
+        # anchored at the invocation cwd, like the CI job.
+        (tmp_path / "pkg").mkdir()
+        src = tmp_path / "pkg" / "mod.py"
+        src.write_text("import random\n\nX = random.random()\n")
+        baseline = tmp_path / ".analysis-baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "suppressions": [
+                {"rule": "determinism", "path": "pkg/mod.py",
+                 "key": "<module>:rng:random.random",
+                 "justification": "fixture"},
+            ],
+        }))
+        monkeypatch.chdir(tmp_path)
+        # auto-discovered ./.analysis-baseline.json, no flag needed
+        assert main(["analyze", "pkg"]) == 0
+        assert "1 suppressed" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_json_payload_parses(self, dirty_file, capsys):
+        assert main(["analyze", dirty_file, "--no-baseline", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["findings"][0]["rule"] == "determinism"
+        assert payload["findings"][0]["line"] == 3
+        assert set(payload["rules"]) >= {
+            "determinism", "lock-discipline", "resource-lifecycle",
+            "api-contract", "no-bare-thread",
+        }
+
+    def test_json_clean_payload(self, clean_file, capsys):
+        assert main(["analyze", clean_file, "--no-baseline", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["findings"] == []
+
+
+class TestSubprocessEntryPoint:
+    def test_module_invocation_matches_in_process(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(textwrap.dedent(
+            """
+            import random
+
+            X = random.random()
+            """
+        ))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "analyze", str(dirty),
+             "--no-baseline"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 1
+        assert "[determinism]" in proc.stdout
+
+    def test_repo_default_target_with_committed_baseline(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "analyze", "--strict"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 finding(s)" in proc.stdout

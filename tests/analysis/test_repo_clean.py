@@ -1,0 +1,60 @@
+"""Self-check: the analyzer runs clean over the repo's own source tree
+modulo the committed baseline — the same gate CI enforces."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, analyze, default_target, iter_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = REPO_ROOT / ".analysis-baseline.json"
+
+
+@pytest.fixture(scope="module")
+def repo_report():
+    baseline = Baseline.load(BASELINE_PATH)
+    return analyze([default_target()], root=REPO_ROOT, baseline=baseline)
+
+
+def test_repo_is_clean_modulo_baseline(repo_report):
+    rendered = "\n".join(f.render() for f in repo_report.findings)
+    assert repo_report.findings == [], f"new findings:\n{rendered}"
+
+
+def test_no_stale_baseline_entries(repo_report):
+    stale = [e.identity() for e in repo_report.stale_baseline]
+    assert stale == [], f"stale baseline entries: {stale}"
+    assert repo_report.is_clean(strict=True)
+
+
+def test_baseline_suppressions_all_match(repo_report):
+    # every committed suppression corresponds to a live finding
+    baseline = Baseline.load(BASELINE_PATH)
+    assert len(repo_report.suppressed) == len(baseline.entries)
+
+
+def test_every_suppression_is_justified():
+    baseline = Baseline.load(BASELINE_PATH)
+    for entry in baseline.entries:
+        assert len(entry.justification.split()) >= 4, entry.identity()
+
+
+def test_all_five_rules_registered():
+    assert {rule.rule_id for rule in iter_rules()} == {
+        "determinism",
+        "lock-discipline",
+        "resource-lifecycle",
+        "api-contract",
+        "no-bare-thread",
+    }
+
+
+def test_scan_covers_the_whole_package(repo_report):
+    # the analyzer must see every module under src/repro (a subdir being
+    # silently skipped would quietly disable the gate for that tier)
+    expected = len([
+        p for p in (REPO_ROOT / "src" / "repro").rglob("*.py")
+        if "__pycache__" not in p.parts
+    ])
+    assert repo_report.files_scanned == expected

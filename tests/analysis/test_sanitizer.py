@@ -1,0 +1,355 @@
+"""Tests for the runtime lock-order sanitizer.
+
+Most tests drive the :class:`LockSanitizer` object API directly (no
+monkey-patching of ``threading``); one end-to-end test runs a generated
+ABBA test file under ``pytest -p repro.analysis.sanitizer`` in a
+subprocess and asserts the session exit status flips to 1.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import sanitizer as san
+from repro.analysis.sanitizer import (
+    LockSanitizer,
+    Violation,
+    _InstrumentedLock,
+    _is_project_code,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_lock(sanitizer: LockSanitizer, site: str) -> _InstrumentedLock:
+    sanitizer.locks_instrumented += 1
+    return _InstrumentedLock(threading.Lock(), site, sanitizer)
+
+
+class TestAcquisitionGraph:
+    def test_consistent_order_records_edges_without_violations(self):
+        sanitizer = LockSanitizer()
+        a = make_lock(sanitizer, "mod.py:10")
+        b = make_lock(sanitizer, "mod.py:20")
+        for _ in range(3):
+            with a, b:
+                pass
+        assert sanitizer.edges_recorded == 1
+        assert sanitizer.violations == []
+
+    def test_abba_inversion_detected(self):
+        sanitizer = LockSanitizer()
+        a = make_lock(sanitizer, "mod.py:10")
+        b = make_lock(sanitizer, "mod.py:20")
+        with a, b:
+            pass
+        with b, a:  # inverted order: cycle in the site graph
+            pass
+        kinds = [v.kind for v in sanitizer.violations]
+        assert kinds == ["lock-order-inversion"]
+        message = sanitizer.violations[0].message
+        assert "mod.py:10" in message and "mod.py:20" in message
+        assert "second order" in sanitizer.violations[0].details
+
+    def test_transitive_inversion_detected(self):
+        sanitizer = LockSanitizer()
+        a = make_lock(sanitizer, "mod.py:10")
+        b = make_lock(sanitizer, "mod.py:20")
+        c = make_lock(sanitizer, "mod.py:30")
+        with a, b:
+            pass
+        with b, c:
+            pass
+        with c, a:  # closes a -> b -> c -> a
+            pass
+        assert [v.kind for v in sanitizer.violations] == ["lock-order-inversion"]
+
+    def test_same_site_nesting_reported_once(self):
+        sanitizer = LockSanitizer()
+        first = make_lock(sanitizer, "pool.py:7")
+        second = make_lock(sanitizer, "pool.py:7")
+        with first, second:
+            pass
+        with first, second:  # second occurrence must not duplicate
+            pass
+        assert [v.kind for v in sanitizer.violations] == ["same-site-nesting"]
+        assert "pool.py:7" in sanitizer.violations[0].message
+
+    def test_reentrant_rlock_is_not_an_edge(self):
+        sanitizer = LockSanitizer()
+        lock = _InstrumentedLock(threading.RLock(), "mod.py:5", sanitizer)
+        sanitizer.locks_instrumented += 1
+        with lock:
+            with lock:  # same instance: reentrancy, not nesting
+                pass
+            # still held here: count bookkeeping must survive the inner exit
+            assert sanitizer._held()[0].count == 1
+        assert sanitizer._held() == []
+        assert sanitizer.edges_recorded == 0
+        assert sanitizer.violations == []
+
+    def test_per_thread_held_stacks_are_independent(self):
+        sanitizer = LockSanitizer()
+        a = make_lock(sanitizer, "mod.py:10")
+        b = make_lock(sanitizer, "mod.py:20")
+
+        def worker() -> None:
+            with b:  # holds nothing else on *this* thread: no edge
+                pass
+
+        with a:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert sanitizer.edges_recorded == 0
+
+    def test_non_blocking_acquire_failure_records_nothing(self):
+        sanitizer = LockSanitizer()
+        a = make_lock(sanitizer, "mod.py:10")
+        assert a.acquire() is True
+        assert a.locked()
+        assert a.acquire(blocking=False) is False  # plain Lock, already held
+        a.release()
+        assert sanitizer._held() == []
+
+
+class TestDispatchContract:
+    class FakeApp:
+        pass
+
+    def test_single_thread_dispatch_is_clean(self):
+        sanitizer = LockSanitizer()
+        app = self.FakeApp()
+        for _ in range(5):
+            sanitizer.record_dispatch(app)
+        assert sanitizer.dispatch_calls == 5
+        assert sanitizer.violations == []
+
+    def test_second_thread_breaks_the_contract_once(self):
+        sanitizer = LockSanitizer()
+        app = self.FakeApp()
+        sanitizer.record_dispatch(app)
+        threads = [
+            threading.Thread(target=sanitizer.record_dispatch, args=(app,))
+            for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        kinds = [v.kind for v in sanitizer.violations]
+        assert kinds == ["dispatch-threads"]  # reported once, not per call
+        assert "FakeApp" in sanitizer.violations[0].message
+
+    def test_apps_are_tracked_independently(self):
+        sanitizer = LockSanitizer()
+        one, two = self.FakeApp(), self.FakeApp()
+        sanitizer.record_dispatch(one)
+        sanitizer.record_dispatch(two)
+        assert sanitizer.violations == []
+
+
+class TestInstallUninstall:
+    def test_patch_and_restore_threading_primitives(self):
+        real_lock, real_rlock = threading.Lock, threading.RLock
+        sanitizer = LockSanitizer()
+        sanitizer.install()
+        try:
+            assert threading.Lock is not real_lock
+            lock = threading.Lock()  # allocated from project test code
+            assert isinstance(lock, _InstrumentedLock)
+            assert sanitizer.locks_instrumented == 1
+            with lock:
+                assert lock.locked()
+        finally:
+            sanitizer.uninstall()
+        assert threading.Lock is real_lock
+        assert threading.RLock is real_rlock
+
+    def test_install_is_idempotent(self):
+        sanitizer = LockSanitizer()
+        sanitizer.install()
+        try:
+            patched = threading.Lock
+            sanitizer.install()
+            assert threading.Lock is patched
+        finally:
+            sanitizer.uninstall()
+        sanitizer.uninstall()  # second uninstall is a no-op
+        assert threading.Lock is not None
+
+    def test_run_blocking_restored_after_uninstall(self):
+        from repro.server.app import SimRankHTTPApp
+
+        original = SimRankHTTPApp._run_blocking
+        sanitizer = LockSanitizer()
+        sanitizer.install()
+        try:
+            assert SimRankHTTPApp._run_blocking is not original
+        finally:
+            sanitizer.uninstall()
+        assert SimRankHTTPApp._run_blocking is original
+
+
+class TestProjectCodeFilter:
+    def test_site_packages_excluded(self):
+        assert not _is_project_code("/usr/lib/python3.11/site-packages/x/y.py")
+
+    def test_synthetic_filenames_excluded(self):
+        assert not _is_project_code("<string>")
+        assert not _is_project_code("<frozen importlib._bootstrap>")
+
+    def test_sanitizer_own_package_excluded(self):
+        assert not _is_project_code(str(Path(san.__file__)))
+
+    def test_repo_source_included(self):
+        assert _is_project_code(str(REPO_ROOT / "src" / "repro" / "parallel" / "pool.py"))
+
+
+class TestSummaryAndRender:
+    def test_summary_counts(self):
+        sanitizer = LockSanitizer()
+        a = make_lock(sanitizer, "mod.py:10")
+        b = make_lock(sanitizer, "mod.py:20")
+        with a, b:
+            pass
+        text = sanitizer.summary()
+        assert "2 lock(s) instrumented" in text
+        assert "1 acquisition-order edge(s)" in text
+        assert "0 violation(s)" in text
+
+    def test_violation_render_includes_details(self):
+        violation = Violation(kind="lock-order-inversion", message="m", details="d")
+        assert violation.render() == "[lock-order-inversion] m\nd"
+        assert Violation(kind="x", message="m").render() == "[x] m"
+
+
+class TestPluginHooks:
+    def test_configure_unconfigure_cycle(self):
+        assert san.get_active() is None
+        san.pytest_configure(config=None)
+        try:
+            active = san.get_active()
+            assert isinstance(active, LockSanitizer)
+            san.pytest_configure(config=None)  # idempotent
+            assert san.get_active() is active
+        finally:
+            san.pytest_unconfigure(config=None)
+        assert san.get_active() is None
+
+    def test_sessionfinish_flips_exit_status(self):
+        class Session:
+            exitstatus = 0
+
+        san.pytest_configure(config=None)
+        try:
+            active = san.get_active()
+            assert active is not None
+            active.violations.append(Violation(kind="x", message="m"))
+            session = Session()
+            san.pytest_sessionfinish(session, exitstatus=0)
+            assert session.exitstatus == 1
+            failed = Session()
+            failed.exitstatus = 2
+            san.pytest_sessionfinish(failed, exitstatus=2)
+            assert failed.exitstatus == 2  # never masks a real failure
+        finally:
+            san.pytest_unconfigure(config=None)
+
+    def test_terminal_summary_lists_violations(self):
+        class Reporter:
+            def __init__(self) -> None:
+                self.lines: list[str] = []
+
+            def section(self, title: str) -> None:
+                self.lines.append(f"== {title} ==")
+
+            def write_line(self, line: str) -> None:
+                self.lines.append(line)
+
+        san.pytest_terminal_summary(terminalreporter=None)  # inactive: no-op
+        san.pytest_configure(config=None)
+        try:
+            active = san.get_active()
+            assert active is not None
+            active.violations.append(Violation(kind="x", message="boom"))
+            reporter = Reporter()
+            san.pytest_terminal_summary(reporter)
+            text = "\n".join(reporter.lines)
+            assert "lock-order sanitizer" in text
+            assert "[x] boom" in text
+        finally:
+            san.pytest_unconfigure(config=None)
+
+
+class TestEndToEnd:
+    def test_abba_test_fails_the_session(self, tmp_path):
+        test_file = tmp_path / "test_abba.py"
+        test_file.write_text(textwrap.dedent(
+            """
+            import threading
+
+
+            def test_inverted_lock_order():
+                a = threading.Lock()
+                b = threading.Lock()
+                with a:
+                    with b:
+                        pass
+                with b:
+                    with a:
+                        pass
+            """
+        ))
+        env_cwd = tmp_path  # cwd-relative filter marks the temp test as project code
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "-p", "repro.analysis.sanitizer",
+             str(test_file), "-q"],
+            capture_output=True,
+            text=True,
+            cwd=env_cwd,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "lock-order sanitizer" in proc.stdout
+        assert "lock-order-inversion" in proc.stdout
+
+    def test_clean_suite_stays_green(self, tmp_path):
+        test_file = tmp_path / "test_ordered.py"
+        test_file.write_text(textwrap.dedent(
+            """
+            import threading
+
+
+            def test_consistent_lock_order():
+                a = threading.Lock()
+                b = threading.Lock()
+                for _ in range(2):
+                    with a:
+                        with b:
+                            pass
+            """
+        ))
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "-p", "repro.analysis.sanitizer",
+             str(test_file), "-q"],
+            capture_output=True,
+            text=True,
+            cwd=tmp_path,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "lock-order sanitizer" in proc.stdout
+        assert "1 acquisition-order edge(s)" in proc.stdout
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_patches():
+    yield
+    assert threading.Lock is san._REAL_LOCK
+    assert threading.RLock is san._REAL_RLOCK

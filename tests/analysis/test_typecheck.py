@@ -1,0 +1,30 @@
+"""mypy --strict gate over the typed tiers (analysis, errors, estimator).
+
+Skips when mypy is not installed (the dev image may omit it); the CI
+``analysis`` job installs mypy and runs this for real.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TARGETS = [
+    "src/repro/analysis",
+    "src/repro/errors.py",
+    "src/repro/api/estimator.py",
+]
+
+
+def test_mypy_strict_on_typed_tiers():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", *TARGETS],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
